@@ -1,0 +1,65 @@
+"""Ablation — the matching module (Section 2.2).
+
+The paper lists three matching modules — "a multi-layer perceptron with
+one hidden layer, a log-bilinear model, or simply a dot product" — but
+evaluates only one.  This bench sweeps all three on the two light
+datasets with each dataset's best Table 3 variant.
+
+Shape to check: all three land in the same F1 band (the encoder does the
+heavy lifting); the parametric scorers (bilinear / MLP) are at least as
+good as the raw dot product, which has no capacity to calibrate the
+score scale beyond two scalars.
+"""
+
+import pytest
+
+from repro.eval import BEST_VARIANT, format_table
+from repro.eval.evaluator import run_system
+
+from _shared import BENCH_EPOCHS, SEED, fmt
+
+DATASETS = ["NCBI", "BioCDR"]
+MATCHERS = ["dot", "mlp", "bilinear"]
+
+_RESULTS: dict = {}
+_RUNS: dict = {}
+
+
+def _get(dataset: str, matcher: str):
+    key = (dataset, matcher)
+    if key not in _RUNS:
+        _RUNS[key] = run_system(
+            dataset,
+            BEST_VARIANT[dataset],
+            epochs=BENCH_EPOCHS,
+            seed=SEED,
+            model_overrides=dict(matcher=matcher),
+        )
+    return _RUNS[key]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("matcher", MATCHERS)
+def test_matcher_cell(benchmark, dataset, matcher):
+    run = benchmark.pedantic(lambda: _get(dataset, matcher), rounds=1, iterations=1)
+    _RESULTS[(dataset, matcher)] = run.test
+    print(
+        f"\nMatcher ablation — {matcher} matcher, ED-GNN({BEST_VARIANT[dataset]}) "
+        f"on {dataset}: {fmt(run.test)}"
+    )
+    assert 0.0 <= run.test.f1 <= 1.0
+
+    if len(_RESULTS) == len(DATASETS) * len(MATCHERS):
+        rows = []
+        for ds in DATASETS:
+            row = [f"ED-GNN({BEST_VARIANT[ds]})", ds]
+            row.extend(f"{_RESULTS[(ds, m)].f1:.3f}" for m in MATCHERS)
+            rows.append(row)
+        print()
+        print(
+            format_table(
+                ["Method", "Dataset"] + [f"{m} F1" for m in MATCHERS],
+                rows,
+                title="Ablation — matching module (Section 2.2)",
+            )
+        )

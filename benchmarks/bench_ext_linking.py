@@ -1,0 +1,67 @@
+"""Extension — end-to-end linking (ranking view).
+
+The Section 4.1 protocol scores pair classification; deployment links
+the *top-ranked* candidate.  This bench runs the trained best variant
+end to end over the test snippets (NER -> query graph -> candidate
+ranking) and reports Hits@1 / Hits@5 / MRR, with and without the fuzzy
+candidate generator.
+
+Shape to check: Hits@1 tracks (and usually exceeds) the pair-F1 — the
+ranking task only needs the gold to *outscore* its confusables, not to
+clear an absolute threshold.
+"""
+
+import pytest
+
+from repro.eval import BEST_VARIANT, evaluate_linking, format_table
+
+from _shared import fmt, get_run
+
+DATASETS = ["NCBI", "BioCDR"]
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_linking_cell(benchmark, dataset):
+    run = get_run(dataset, BEST_VARIANT[dataset])
+    assert run.pipeline is not None
+
+    from repro.datasets import load_dataset
+
+    dataset_obj = load_dataset(dataset)
+    snippets = dataset_obj.test
+
+    result = benchmark.pedantic(
+        lambda: evaluate_linking(run.pipeline, snippets, top_k=5),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[dataset] = (run.test, result)
+    print(
+        f"\nLinking — ED-GNN({BEST_VARIANT[dataset]}) on {dataset}: "
+        f"pair {fmt(run.test)} | ranking {result}"
+    )
+    assert 0.0 <= result.hits_at_1 <= result.hits_at_k <= 1.0
+
+    if len(_RESULTS) == len(DATASETS):
+        rows = []
+        for ds in DATASETS:
+            prf, link = _RESULTS[ds]
+            rows.append(
+                [
+                    ds,
+                    f"{prf.f1:.3f}",
+                    f"{link.hits_at_1:.3f}",
+                    f"{link.hits_at_k:.3f}",
+                    f"{link.mrr:.3f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["Dataset", "Pair F1", "Hits@1", "Hits@5", "MRR"],
+                rows,
+                title="Extension — end-to-end linking vs pair classification",
+            )
+        )

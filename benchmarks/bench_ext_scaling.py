@@ -1,0 +1,79 @@
+"""Extension — scaling behaviour of the numpy substrate.
+
+Times one full training run and the end-to-end inference throughput of
+the best NCBI variant at three KB scales.  No counterpart table exists
+in the paper (the authors train on a GPU); this bench documents what the
+pure-numpy reproduction costs so users can budget `REPRO_SCALE`.
+
+Shape to check: training wall time grows roughly linearly in
+(#nodes + #edges + #snippets) — message passing and the pair loss are
+both linear — while per-snippet inference stays flat (the KB forward
+pass is shared across candidates).
+"""
+
+import time
+
+import pytest
+
+from repro.eval import BEST_VARIANT, format_table
+from repro.eval.evaluator import run_system
+
+from _shared import BENCH_EPOCHS, SEED
+
+SCALES = [0.25, 0.5, 1.0]
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scaling_cell(benchmark, scale):
+    def run_once():
+        start = time.perf_counter()
+        run = run_system(
+            "NCBI",
+            BEST_VARIANT["NCBI"],
+            epochs=BENCH_EPOCHS,
+            seed=SEED,
+            scale=scale,
+        )
+        train_seconds = time.perf_counter() - start
+
+        from repro.datasets import load_dataset
+
+        snippets = load_dataset("NCBI", scale=scale).test[:20]
+        start = time.perf_counter()
+        for snippet in snippets:
+            run.pipeline.disambiguate_snippet(snippet, top_k=5)
+        infer_seconds = time.perf_counter() - start
+        return run, train_seconds, len(snippets) / infer_seconds
+
+    run, train_seconds, throughput = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    kb = run.pipeline.kb
+    _RESULTS[scale] = (kb.num_nodes, kb.num_edges, train_seconds, throughput, run.test.f1)
+    print(
+        f"\nScaling — NCBI at scale {scale}: {kb.num_nodes} nodes, "
+        f"{kb.num_edges} edges, train {train_seconds:.1f}s, "
+        f"inference {throughput:.1f} snippets/s, F1 {run.test.f1:.3f}"
+    )
+    assert train_seconds > 0
+
+    if len(_RESULTS) == len(SCALES):
+        rows = [
+            [
+                f"{s}",
+                str(_RESULTS[s][0]),
+                str(_RESULTS[s][1]),
+                f"{_RESULTS[s][2]:.1f}s",
+                f"{_RESULTS[s][3]:.1f}/s",
+                f"{_RESULTS[s][4]:.3f}",
+            ]
+            for s in SCALES
+        ]
+        print()
+        print(
+            format_table(
+                ["Scale", "Nodes", "Edges", "Train time", "Inference", "F1"],
+                rows,
+                title=f"Extension — substrate scaling (NCBI, {BENCH_EPOCHS} epochs)",
+            )
+        )

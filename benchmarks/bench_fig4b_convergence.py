@@ -1,0 +1,50 @@
+"""Figure 4(b) — convergence analysis.
+
+Reuses the per-dataset best-variant runs and prints the validation-F1
+curve (every 5 epochs).  Shape to check: fast rise in the first ~20
+epochs, then a stable plateau across all datasets.
+"""
+
+import pytest
+
+from repro.eval import BEST_VARIANT, format_table
+
+from _shared import get_run
+
+DATASETS = ("NCBI", "BioCDR", "ShARe", "MDX", "MIMIC-III")
+
+_CURVES: dict = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig4b_convergence(benchmark, dataset):
+    variant = BEST_VARIANT[dataset]
+    run = benchmark.pedantic(
+        lambda: get_run(dataset, variant), rounds=1, iterations=1
+    )
+    curve = run.convergence
+    _CURVES[dataset] = curve
+    assert curve, "training must record a per-epoch validation curve"
+    best = max(f1 for _, f1 in curve)
+    late = max(f1 for e, f1 in curve if e >= len(curve) // 2) if len(curve) > 1 else best
+    print(f"\nFigure 4(b) — {dataset} ({variant}): {len(curve)} epochs, best val F1 {best:.3f}")
+
+    if len(_CURVES) == len(DATASETS):
+        checkpoints = [0, 5, 10, 15, 20, 30, 39]
+        rows = []
+        for ds in DATASETS:
+            curve = dict(_CURVES[ds])
+            last_epoch = max(curve)
+            row = [ds]
+            for cp in checkpoints:
+                e = min(cp, last_epoch)
+                row.append(f"{curve.get(e, 0.0):.3f}")
+            rows.append(row)
+        print()
+        print(
+            format_table(
+                ["Dataset", *[f"ep{c}" for c in checkpoints]],
+                rows,
+                title="Figure 4(b) — validation F1 vs training epoch",
+            )
+        )

@@ -1,0 +1,69 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the five KBs and reports #nodes / #edges next to the paper's
+numbers.  The three small datasets are synthesised at full scale; the
+two large ones (MDX, MIMIC-III) at full scale only when
+``REPRO_TABLE2_FULL=1`` (their profiles pin the exact Table 2 sizes
+either way, which the test suite asserts).
+"""
+
+import os
+
+import pytest
+
+from repro.datasets import PROFILES, load_dataset
+from repro.eval import format_table
+
+PAPER_TABLE2 = {
+    "MDX": (35_028, 74_621),
+    "MIMIC-III": (22_642, 284_542),
+    "NCBI": (753, 1_845),
+    "ShARe": (1_719, 12_731),
+    "BioCDR": (1_082, 2_857),
+}
+
+FULL = os.environ.get("REPRO_TABLE2_FULL", "0") == "1"
+SMALL_DATASETS = ("NCBI", "ShARe", "BioCDR")
+
+
+def _scale_for(name: str) -> float:
+    if FULL or name in SMALL_DATASETS:
+        return 1.0
+    return 0.25
+
+
+@pytest.mark.parametrize("name", list(PAPER_TABLE2))
+def test_table2_dataset(benchmark, name):
+    scale = _scale_for(name)
+    dataset = benchmark.pedantic(
+        lambda: load_dataset(name, scale=scale, use_cache=False),
+        rounds=1,
+        iterations=1,
+    )
+    stats = dataset.stats()
+    paper_nodes, paper_edges = PAPER_TABLE2[name]
+    rows = [
+        [
+            name,
+            f"{scale:.2f}",
+            str(stats["nodes"]),
+            str(stats["edges"]),
+            str(stats["snippets"]),
+            str(paper_nodes),
+            str(paper_edges),
+        ]
+    ]
+    print()
+    print(
+        format_table(
+            ["Dataset", "Scale", "Nodes", "Edges", "Snippets", "Paper nodes", "Paper edges"],
+            rows,
+            title="Table 2 — dataset statistics (generated vs paper)",
+        )
+    )
+    # The declared profile always pins the exact paper sizes.
+    assert PROFILES[name].num_nodes == paper_nodes
+    assert PROFILES[name].num_edges == paper_edges
+    if scale == 1.0:
+        assert stats["nodes"] == paper_nodes
+        assert stats["edges"] >= 0.8 * paper_edges

@@ -1,0 +1,42 @@
+"""Table 3 — main entity-disambiguation results.
+
+Six systems (DeepMatcher, NormCo, NCEL, ED-GNN x GraphSAGE / R-GCN /
+MAGNN) on the five datasets; prints P / R / F1 per cell and the per-
+dataset grid after the last cell.  The paper's shape to check: every
+ED-GNN variant beats the text baselines per dataset on average, MAGNN is
+the strongest variant overall, and all systems do best on the two
+"simple" corpora (NCBI, BioCDR).
+"""
+
+import pytest
+
+from repro.eval import ALL_SYSTEMS, results_table
+
+from _shared import fmt, get_run
+
+DATASETS = ("NCBI", "BioCDR", "ShARe", "MDX", "MIMIC-III")
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_table3_cell(benchmark, dataset, system):
+    run = benchmark.pedantic(
+        lambda: get_run(dataset, system), rounds=1, iterations=1
+    )
+    _RESULTS.setdefault(system, {})[dataset] = run.test
+    print(f"\nTable 3 cell — {dataset} / {system}: {fmt(run.test)}")
+    assert 0.0 <= run.test.f1 <= 1.0
+
+    total = sum(len(v) for v in _RESULTS.values())
+    if total == len(DATASETS) * len(ALL_SYSTEMS):
+        print()
+        print(
+            results_table(
+                _RESULTS,
+                title="Table 3 — entity disambiguation on five datasets",
+                systems=list(ALL_SYSTEMS),
+                datasets=list(DATASETS),
+            )
+        )

@@ -1,0 +1,44 @@
+"""Table 5 — F1 versus the number of GNN layers (1-4).
+
+Uses the per-dataset best variant (as the paper does).  Shape to check:
+F1 peaks at 2 (NCBI) or 3 layers and declines at 4 — deeper propagation
+pulls in noisy distant neighbourhoods and makes the query-vs-KB
+neighbourhoods less isomorphic.
+"""
+
+import pytest
+
+from repro.eval import BEST_VARIANT, format_table
+
+from _shared import get_run
+
+DATASETS = ("NCBI", "BioCDR", "ShARe", "MDX", "MIMIC-III")
+LAYERS = (1, 2, 3, 4)
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("layers", LAYERS)
+def test_table5_cell(benchmark, dataset, layers):
+    variant = BEST_VARIANT[dataset]
+    run = benchmark.pedantic(
+        lambda: get_run(dataset, variant, num_layers=layers),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[(dataset, layers)] = run.test.f1
+    print(f"\nTable 5 cell — {dataset} ({variant}), {layers} layers: F1={run.test.f1:.3f}")
+
+    if len(_RESULTS) == len(DATASETS) * len(LAYERS):
+        rows = []
+        for n in LAYERS:
+            rows.append([str(n)] + [f"{_RESULTS[(ds, n)]:.3f}" for ds in DATASETS])
+        print()
+        print(
+            format_table(
+                ["# layers", *DATASETS],
+                rows,
+                title="Table 5 — number of layers (F1)",
+            )
+        )

@@ -1,0 +1,49 @@
+"""Table 6 — error analysis (% of each test set per error class).
+
+Reuses the per-dataset best-variant runs and classifies every
+misclassified test mention into the paper's three categories.  Shape to
+check: short-snippet datasets (MIMIC-III analogue) are dominated by
+"insufficient structure"; dense KBs contribute "highly similar nodes";
+multi-type surfaces produce "Gqry construction" errors.
+"""
+
+import pytest
+
+from repro.eval import BEST_VARIANT, CATEGORIES, analyze_errors, format_table
+
+from _shared import get_run
+
+DATASETS = ("NCBI", "BioCDR", "ShARe", "MDX", "MIMIC-III")
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table6_errors(benchmark, dataset):
+    variant = BEST_VARIANT[dataset]
+    run = get_run(dataset, variant)
+    breakdown = benchmark.pedantic(
+        lambda: analyze_errors(run.test_records), rounds=1, iterations=1
+    )
+    _RESULTS[dataset] = breakdown
+    rates = breakdown.rates()
+    print(f"\nTable 6 — {dataset} ({variant}):")
+    for category in CATEGORIES:
+        print(f"  {category:24s} {rates[category]*100:5.1f}% of test set")
+    assert sum(rates.values()) <= 1.0 + 1e-9
+
+    if len(_RESULTS) == len(DATASETS):
+        rows = []
+        for category in CATEGORIES:
+            rows.append(
+                [category]
+                + [f"{_RESULTS[ds].rate(category)*100:.1f}%" for ds in DATASETS]
+            )
+        print()
+        print(
+            format_table(
+                ["Error", *DATASETS],
+                rows,
+                title="Table 6 — error analysis (% of each test set)",
+            )
+        )

@@ -1,0 +1,17 @@
+"""Benchmark suite configuration: make the suite's helpers importable and
+print the active scale/epoch budget once per session."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.datasets import default_scale  # noqa: E402
+
+
+def pytest_sessionstart(session):
+    epochs = os.environ.get("REPRO_EPOCHS", "40")
+    print(
+        f"\n[repro bench] REPRO_SCALE={default_scale()} (per-dataset floors apply), "
+        f"REPRO_EPOCHS={epochs}"
+    )

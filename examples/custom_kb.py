@@ -1,0 +1,158 @@
+"""Build your own medical KB from scratch and disambiguate against it.
+
+Constructs the paper's Figure 1 toy heterogeneous graph by hand (Drugs,
+AdverseEffects, Symptoms, Findings with TREAT / CAUSE / INDICATE / HAS
+edges), extends it with the "ARF" ambiguity the introduction walks
+through, trains an ED-GNN pipeline on programmatically generated
+snippets, and then resolves the motivating sentence:
+
+    "Aspirin can cause nausea indicating a potential ARF,
+     nephrotoxicity, and proteinuria."
+
+The expected resolution is "acute renal failure" (the nephrotoxicity /
+proteinuria context), not "acute respiratory failure" — even though both
+abbreviate to "ARF".  Run:  python examples/custom_kb.py
+"""
+
+import numpy as np
+
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.graph import HeteroGraph, medical_schema
+from repro.text import MentionAnnotation, Snippet, mint_cui
+
+
+def build_kb() -> HeteroGraph:
+    """The Figure 1 toy graph, densified enough to train on."""
+    kb = HeteroGraph(medical_schema())
+    add, edge = kb.add_node, kb.add_edge_by_name
+
+    # -- drugs ----------------------------------------------------------
+    aspirin = add("Drug", "aspirin")
+    metformin = add("Drug", "metformin")
+    ibuprofen = add("Drug", "ibuprofen")
+    lisinopril = add("Drug", "lisinopril")
+
+    # -- adverse effects -------------------------------------------------
+    nausea = add("AdverseEffect", "nausea")
+    diarrhea = add("AdverseEffect", "diarrhea")
+    nephrotoxicity = add("AdverseEffect", "nephrotoxicity")
+    dizziness = add("AdverseEffect", "dizziness")
+    cough = add("AdverseEffect", "dry cough")
+
+    # -- symptoms --------------------------------------------------------
+    headache = add("Symptom", "headache")
+    fever_sym = add("Symptom", "high fever")
+    dyspnea = add("Symptom", "shortness of breath")
+
+    # -- findings (including the ARF ambiguity) --------------------------
+    renal = add("Finding", "acute renal failure", aliases=("ARF", "acute kidney injury"))
+    respiratory = add("Finding", "acute respiratory failure", aliases=("ARF",))
+    proteinuria = add("Finding", "proteinuria")
+    fever = add("Finding", "fever")
+    hypoxemia = add("Finding", "hypoxemia")
+    creatinine = add("Finding", "elevated creatinine")
+
+    # -- edges (Figure 1 shape) ------------------------------------------
+    edge(aspirin, headache, "TREAT")
+    edge(aspirin, fever_sym, "TREAT")
+    edge(aspirin, nausea, "CAUSE")
+    edge(aspirin, nephrotoxicity, "CAUSE")
+    edge(metformin, diarrhea, "CAUSE")
+    edge(metformin, nausea, "CAUSE")
+    edge(ibuprofen, nephrotoxicity, "CAUSE")
+    edge(ibuprofen, dizziness, "CAUSE")
+    edge(lisinopril, cough, "CAUSE")
+    edge(lisinopril, dizziness, "CAUSE")
+
+    edge(headache, fever, "INDICATE")
+    edge(fever_sym, fever, "INDICATE")
+    edge(dyspnea, hypoxemia, "INDICATE")
+    edge(dyspnea, respiratory, "INDICATE")
+
+    # Kidney context around "acute renal failure".
+    edge(nausea, renal, "HAS")
+    edge(nephrotoxicity, renal, "HAS")
+    edge(nephrotoxicity, proteinuria, "HAS")
+    edge(nephrotoxicity, creatinine, "HAS")
+    edge(diarrhea, fever, "HAS")
+    # Respiratory context around "acute respiratory failure".
+    edge(cough, respiratory, "HAS")
+    edge(cough, hypoxemia, "HAS")
+    return kb
+
+
+def make_snippet(kb: HeteroGraph, gold: int, surface: str, context: list) -> Snippet:
+    """One training snippet: the ambiguous surface plus context mentions."""
+    mentions = [(surface, gold)] + [(kb.node_name(c), c) for c in context]
+    text = "Observed " + ", ".join(m for m, _ in mentions) + " in the patient."
+    annotations, cursor = [], len("Observed ")
+    for i, (m, node) in enumerate(mentions):
+        annotations.append(
+            MentionAnnotation(m, cursor, cursor + len(m), kb.node_type_name(node), mint_cui(node))
+        )
+        cursor += len(m) + 2
+    return Snippet(text=text, mentions=annotations, ambiguous_index=0)
+
+
+def build_corpus(kb: HeteroGraph, rng: np.random.Generator) -> list:
+    """Programmatic snippets: every connected entity appears with a
+    corrupted surface and 1-3 of its KB neighbours as context."""
+    snippets = []
+    for node in range(kb.num_nodes):
+        neighbors = kb.neighbors(node).tolist()
+        if not neighbors:
+            continue
+        surfaces = {kb.node_name(node)}
+        surfaces.update(kb.node_aliases(node))
+        for surface in surfaces:
+            for _ in range(3):
+                take = min(len(neighbors), 1 + int(rng.integers(0, 3)))
+                context = rng.choice(neighbors, size=take, replace=False).tolist()
+                snippets.append(make_snippet(kb, node, surface, context))
+    rng.shuffle(snippets)
+    return snippets
+
+
+def main() -> None:
+    kb = build_kb()
+    print(f"Custom KB: {kb.num_nodes} entities, {kb.num_edges} edges")
+    print(f"Types: {kb.type_histogram()}")
+
+    rng = np.random.default_rng(0)
+    corpus = build_corpus(kb, rng)
+    n = len(corpus)
+    train, val, test = (
+        corpus[: int(0.7 * n)],
+        corpus[int(0.7 * n) : int(0.85 * n)],
+        corpus[int(0.85 * n) :],
+    )
+    print(f"Corpus: {n} snippets (train {len(train)} / val {len(val)} / test {len(test)})")
+
+    # R-GCN: the KB is small but typed; relation-aware aggregation matters.
+    pipeline = EDPipeline(
+        kb,
+        model_config=ModelConfig(variant="rgcn", num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=60, patience=20, negatives_per_positive=2, seed=0),
+    )
+    result = pipeline.fit(train, val, test)
+    print(f"\nTest metrics: {result.test}")
+
+    # The introduction's motivating sentence.
+    text = (
+        "Aspirin can cause nausea indicating a potential ARF, "
+        "nephrotoxicity, and proteinuria."
+    )
+    prediction = pipeline.disambiguate(text, ambiguous_surface="ARF", top_k=2)
+    print(f"\nSnippet : {text!r}")
+    print(f"Mention : {prediction.mention!r}")
+    print("Candidates:")
+    for entity, score in zip(prediction.ranked_entities, prediction.scores):
+        print(f"  {score:7.3f}  {kb.node_name(entity)}")
+    resolved = kb.node_name(prediction.top())
+    print(f"\nResolved to: {resolved!r}")
+    if resolved == "acute renal failure":
+        print("=> the kidney-context reading, as the paper's Section 1 argues.")
+
+
+if __name__ == "__main__":
+    main()

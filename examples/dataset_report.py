@@ -1,0 +1,82 @@
+"""Characterise the synthetic datasets against the paper's claims.
+
+The paper attributes its results to dataset character: "the graph
+complexity and semantic richness of NCBI and Bio CDR are simpler than
+the other datasets" (Section 4.3); MIMIC-III's short snippets drive
+"insufficient structure" errors and its density drives "highly similar
+nodes" errors (Section 4.5).  This report *measures* those properties
+on the generated analogues — density, degree profile, surface
+ambiguity, same-type sibling similarity, snippet length, and the
+discrepancy-class mix.  Run:  python examples/dataset_report.py
+"""
+
+from repro.analysis import (
+    ambiguity_profile,
+    context_stats,
+    degree_statistics,
+    discrepancy_mix,
+    edges_per_node,
+    sibling_similarity,
+)
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+DATASETS = ["MDX", "MIMIC-III", "NCBI", "ShARe", "BioCDR"]
+SCALE = 0.08  # MDX/MIMIC-III stay small; floors lift the other three
+
+
+def main() -> None:
+    rows = []
+    mix_rows = []
+    for name in DATASETS:
+        dataset = load_dataset(name, scale=None if name in ("NCBI", "ShARe", "BioCDR") else SCALE)
+        kb = dataset.kb
+        degrees = degree_statistics(kb)
+        ambiguity = ambiguity_profile(kb)
+        context = context_stats(dataset.snippets)
+        siblings = sibling_similarity(kb, sample_pairs=150)
+        rows.append(
+            [
+                name,
+                str(kb.num_nodes),
+                str(kb.num_edges),
+                f"{edges_per_node(kb):.2f}",
+                f"{degrees.mean:.1f}",
+                f"{ambiguity.ambiguous_fraction:.1%}",
+                f"{siblings:.3f}",
+                f"{context.mean_mentions:.2f}",
+            ]
+        )
+        mix = discrepancy_mix(dataset.snippets, kb)
+        mix_rows.append(
+            [name]
+            + [f"{mix.fractions.get(k, 0.0):.2f}"
+               for k in ("acronym", "synonym", "abbreviation", "typo", "simplification")]
+        )
+
+    print(
+        format_table(
+            ["Dataset", "Nodes", "Edges", "E/N", "Mean deg",
+             "Ambig surf", "Sibling sim", "Mentions/snip"],
+            rows,
+            title="KB + corpus character (generated analogues)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["Dataset", "acronym", "synonym", "abbrev", "typo", "simplif"],
+            mix_rows,
+            title="Measured discrepancy mix of ambiguous mentions",
+        )
+    )
+    print(
+        "\nClaims to check: MIMIC-III has the highest E/N (density) and the\n"
+        "shortest snippets; MDX leads on ambiguous surfaces (editorial\n"
+        "acronyms); NCBI/BioCDR are mildest on every axis — the paper's\n"
+        "'simpler graph complexity' reading of their higher F1 scores."
+    )
+
+
+if __name__ == "__main__":
+    main()

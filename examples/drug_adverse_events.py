@@ -1,0 +1,135 @@
+"""Domain scenario 1 — drug adverse-event disambiguation (the paper's
+introduction): resolving the ambiguous abbreviation "ARF" using Aspirin's
+adverse-effect context.
+
+This example builds the KB fragment of Figure 1 *by hand* (no synthetic
+dataset), trains ED-GNN on a handful of generated snippets, and shows the
+two colliding candidates being separated by graph context alone — the
+mention surface "ARF" is identical for both.
+
+Run:  python examples/drug_adverse_events.py
+"""
+
+import numpy as np
+
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.graph import HeteroGraph, medical_schema
+from repro.text import MentionAnnotation, Snippet, mint_cui
+
+
+def build_kb() -> HeteroGraph:
+    """Figure 1's toy KB plus enough context for both ARF expansions."""
+    g = HeteroGraph(medical_schema())
+    drugs = {
+        name: g.add_node("Drug", name)
+        for name in ("aspirin", "metformin", "lisinopril", "albuterol", "ibuprofen")
+    }
+    effects = {
+        name: g.add_node("AdverseEffect", name)
+        for name in ("nausea", "diarrhea", "dizziness", "wheezing", "rash")
+    }
+    symptoms = {
+        name: g.add_node("Symptom", name)
+        for name in ("headache", "fever", "cough", "chest tightness")
+    }
+    findings = {
+        name: g.add_node("Finding", name)
+        for name in (
+            "acute renal failure",
+            "acute respiratory failure",
+            "nephrotoxicity",
+            "proteinuria",
+            "hypoxemia",
+            "bronchospasm",
+        )
+    }
+    add = g.add_edge_by_name
+    # Renal context: aspirin-like drugs -> nausea -> renal findings.
+    add(drugs["aspirin"], effects["nausea"], "CAUSE")
+    add(drugs["ibuprofen"], effects["nausea"], "CAUSE")
+    add(drugs["ibuprofen"], effects["rash"], "CAUSE")
+    add(effects["nausea"], findings["acute renal failure"], "HAS")
+    add(effects["nausea"], findings["nephrotoxicity"], "HAS")
+    add(effects["rash"], findings["proteinuria"], "HAS")
+    # Respiratory context: albuterol -> wheezing -> respiratory findings.
+    add(drugs["albuterol"], effects["wheezing"], "CAUSE")
+    add(effects["wheezing"], findings["acute respiratory failure"], "HAS")
+    add(effects["wheezing"], findings["hypoxemia"], "HAS")
+    add(effects["dizziness"], findings["bronchospasm"], "HAS")
+    add(drugs["lisinopril"], effects["dizziness"], "CAUSE")
+    add(drugs["metformin"], effects["diarrhea"], "CAUSE")
+    add(effects["diarrhea"], findings["proteinuria"], "HAS")
+    add(drugs["aspirin"], symptoms["headache"], "TREAT")
+    add(drugs["albuterol"], symptoms["cough"], "TREAT")
+    add(symptoms["fever"], findings["acute renal failure"], "INDICATE")
+    add(symptoms["chest tightness"], findings["acute respiratory failure"], "INDICATE")
+    return g
+
+
+def make_snippet(kb: HeteroGraph, context_names, gold_name: str, mention: str) -> Snippet:
+    """Assemble a gold-annotated snippet from entity names."""
+    name_to_id = {kb.node_name(v): v for v in range(kb.num_nodes)}
+    surfaces = list(context_names) + [mention]
+    text = "Patient on " + ", ".join(surfaces[:-1]) + f" developed {mention}."
+    mentions = []
+    cursor = 0
+    for surface in surfaces:
+        start = text.index(surface, cursor)
+        node = name_to_id.get(surface)
+        link = mint_cui(node if node is not None else name_to_id[gold_name])
+        category = kb.node_type_name(node) if node is not None else kb.node_type_name(name_to_id[gold_name])
+        mentions.append(MentionAnnotation(surface, start, start + len(surface), category, link))
+        cursor = start + len(surface)
+    return Snippet(text=text, mentions=mentions, ambiguous_index=len(surfaces) - 1)
+
+
+def main() -> None:
+    kb = build_kb()
+    rng = np.random.default_rng(0)
+
+    # Training snippets: renal-context ARFs and respiratory-context ARFs.
+    renal_contexts = [
+        ["aspirin", "nausea"],
+        ["ibuprofen", "nausea", "nephrotoxicity"],
+        ["aspirin", "nephrotoxicity"],
+        ["ibuprofen", "proteinuria", "nausea"],
+        ["aspirin", "nausea", "proteinuria"],
+    ]
+    resp_contexts = [
+        ["albuterol", "wheezing"],
+        ["albuterol", "hypoxemia"],
+        ["albuterol", "wheezing", "hypoxemia"],
+        ["albuterol", "cough"],
+        ["albuterol", "chest tightness"],
+    ]
+    snippets = []
+    for ctx in renal_contexts:
+        snippets.append(make_snippet(kb, ctx, "acute renal failure", "ARF"))
+    for ctx in resp_contexts:
+        snippets.append(make_snippet(kb, ctx, "acute respiratory failure", "ARF"))
+    rng.shuffle(snippets)
+    train, val, test = snippets[:6], snippets[6:8], snippets[8:]
+
+    pipeline = EDPipeline(
+        kb,
+        model_config=ModelConfig(
+            variant="rgcn", feature_dim=64, hidden_dim=64, num_layers=2, dropout=0.2, seed=0
+        ),
+        train_config=TrainConfig(epochs=60, patience=60, negatives_per_positive=3, seed=0),
+    )
+    result = pipeline.fit(train, val, test)
+    print(f"Trained on {len(train)} ARF snippets; test {result.test}")
+
+    # The abstract's sentence: renal context -> acute renal failure.
+    text = "Aspirin can cause nausea indicating a potential ARF, nephrotoxicity, and proteinuria"
+    prediction = pipeline.disambiguate(text, ambiguous_surface="ARF", top_k=2)
+    print(f"\nSnippet : {text!r}")
+    print("Ranked candidates for 'ARF':")
+    for entity, score in zip(prediction.ranked_entities, prediction.scores):
+        print(f"  {score:7.3f}  {kb.node_name(entity)}")
+    best = kb.node_name(prediction.top())
+    print(f"\nED-GNN resolves 'ARF' -> {best!r}")
+
+
+if __name__ == "__main__":
+    main()

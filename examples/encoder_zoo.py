@@ -1,0 +1,63 @@
+"""The pluggable-encoder zoo: all seven GNN variants, one harness.
+
+Section 1: "other GNNs can be plugged into our architecture as well."
+This example trains every implemented encoder — the paper's three
+(GraphSAGE, R-GCN, MAGNN) plus the extensions (GCN, GAT, HAN, HetGNN) —
+on the same small NCBI-analogue dataset under identical settings, and
+prints a comparison table with per-variant parameter counts and test
+metrics.  Run:  python examples/encoder_zoo.py
+"""
+
+import time
+
+from repro.core import VARIANTS, EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+
+def main() -> None:
+    dataset = load_dataset("NCBI", scale=0.3)
+    print(
+        f"Dataset: NCBI analogue — {dataset.kb.num_nodes} entities, "
+        f"{dataset.kb.num_edges} edges, {len(dataset.snippets)} snippets\n"
+    )
+
+    rows = []
+    for variant in VARIANTS:
+        start = time.perf_counter()
+        pipeline = EDPipeline(
+            dataset.kb.copy() if dataset.kb.features is None else dataset.kb,
+            model_config=ModelConfig(variant=variant, num_layers=2, seed=0),
+            train_config=TrainConfig(epochs=25, patience=10, seed=0),
+        )
+        result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                variant,
+                f"{pipeline.model.num_parameters():,}",
+                f"{result.test.precision:.3f}",
+                f"{result.test.recall:.3f}",
+                f"{result.test.f1:.3f}",
+                str(result.best_epoch),
+                f"{elapsed:.1f}s",
+            ]
+        )
+        print(f"  {variant:>10}: F1 {result.test.f1:.3f}  ({elapsed:.1f}s)")
+
+    print()
+    print(
+        format_table(
+            ["Variant", "Params", "P", "R", "F1", "Best epoch", "Wall time"],
+            rows,
+            title="Encoder zoo on the NCBI analogue (25 epochs, 2 layers)",
+        )
+    )
+    print(
+        "\nThe paper's three variants are graphsage / rgcn / magnn; the rest\n"
+        "are drop-in extensions sharing the identical Siamese harness."
+    )
+
+
+if __name__ == "__main__":
+    main()

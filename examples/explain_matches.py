@@ -1,0 +1,50 @@
+"""Domain scenario 3 — explaining disambiguation decisions
+(Section 4.4 / Figure 4a).
+
+Trains the best variant on the BioCDR analogue, then uses the
+GNN-Explainer to find the KB edges that contribute most to each match —
+the evidence a medical editor would review before accepting a link.
+
+Run:  python examples/explain_matches.py
+"""
+
+from repro.core import EDPipeline, GNNExplainer, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("BioCDR", scale=0.2)
+    kb = dataset.kb
+    pipeline = EDPipeline(
+        kb,
+        model_config=ModelConfig(variant="rgcn", num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=40, patience=15, seed=0),
+    )
+    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    print(f"Trained ED-GNN (R-GCN) on BioCDR analogue: test {result.test}\n")
+
+    explainer = GNNExplainer(pipeline.model, kb, epochs=80, seed=0)
+
+    shown = 0
+    for record in result.test_records:
+        if record.label != 1 or not record.prediction:
+            continue  # explain correctly accepted matches only
+        explanation = explainer.explain(record.query_graph, record.ref_entity, k_hops=2, top_k=3)
+        if not explanation.top_edges:
+            continue
+        print(f"Match: mention {explanation.mention_surface!r} -> "
+              f"entity {explanation.entity_name!r} (score {explanation.matching_score:.2f})")
+        print("  most influential KB edges:")
+        for edge in explanation.top_edges:
+            print(f"    {edge}")
+        print()
+        shown += 1
+        if shown == 3:
+            break
+
+    if shown == 0:
+        print("No correctly matched pairs to explain — train longer.")
+
+
+if __name__ == "__main__":
+    main()

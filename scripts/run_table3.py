@@ -1,0 +1,40 @@
+"""Standalone Table 3 run used to calibrate the benchmark harness.
+
+Usage: python scripts/run_table3.py [datasets...]
+Honours REPRO_SCALE / REPRO_EPOCHS.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import BASELINES
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import DATASET_NAMES, load_dataset
+
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "100"))
+
+datasets = sys.argv[1:] or DATASET_NAMES
+for ds_name in datasets:
+    for system in ["DeepMatcher", "NormCo", "NCEL", "graphsage", "rgcn", "magnn"]:
+        ds = load_dataset(ds_name, use_cache=False)
+        t0 = time.time()
+        if system in BASELINES:
+            model = BASELINES[system](ds.kb, seed=0, epochs=EPOCHS, patience=30)
+            res = model.fit(ds.train, ds.val, ds.test)
+            test = res.test
+        else:
+            pipe = EDPipeline(
+                ds.kb,
+                model_config=ModelConfig(variant=system, num_layers=3 if ds_name != "NCBI" else 2, seed=0),
+                train_config=TrainConfig(epochs=EPOCHS, patience=30),
+            )
+            res = pipe.fit(ds.train, ds.val, ds.test)
+            test = res.test
+        print(
+            f"{ds_name:10s} {system:12s} {time.time()-t0:6.1f}s "
+            f"best_ep={res.best_epoch:3d} P={test.precision:.3f} R={test.recall:.3f} F1={test.f1:.3f}",
+            flush=True,
+        )

@@ -1,0 +1,8 @@
+"""Legacy shim so ``pip install -e .`` works offline (no `wheel` package
+available in this environment, so the PEP 660 path cannot build).
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""ED-GNN: Medical Entity Disambiguation Using Graph Neural Networks.
+
+Full reproduction of Vretinaris et al., SIGMOD 2021 (see README.md and
+DESIGN.md).  Public entry points:
+
+* repro.core.EDPipeline — text snippet -> ranked KB entities;
+* repro.datasets.load_dataset — the five synthetic datasets of Table 2;
+* repro.eval.run_system — one Table 3 cell (train + test);
+* repro.core.GNNExplainer — Figure 4(a) explanations.
+"""
+
+from . import analysis, autograd, baselines, core, datasets, eval, gnn, graph, text  # noqa: F401
+from .core import EDGNN, EDPipeline, GNNExplainer, ModelConfig, TrainConfig  # noqa: F401
+from .datasets import load_dataset  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd", "graph", "text", "gnn", "core", "baselines", "datasets", "eval",
+    "analysis",
+    "EDPipeline", "EDGNN", "ModelConfig", "TrainConfig", "GNNExplainer",
+    "load_dataset", "__version__",
+]

@@ -1,0 +1,43 @@
+"""Dataset characterisation: the measurable properties behind the
+paper's qualitative claims.
+
+Section 4.3 attributes results to "graph complexity and semantic
+richness"; Section 4.5's error analysis leans on snippet length and KB
+density.  This subpackage quantifies those notions for any KB + corpus —
+degree/density profiles, surface-form ambiguity, same-type structural
+similarity ("highly similar nodes"), snippet-length and
+discrepancy-class mixes — so the claims are checkable numbers instead
+of prose.
+"""
+
+from .corpus_stats import (  # noqa: F401
+    ContextStats,
+    DiscrepancyMix,
+    context_stats,
+    discrepancy_mix,
+    summarize_corpus,
+)
+from .kb_stats import (  # noqa: F401
+    AmbiguityProfile,
+    DegreeStats,
+    ambiguity_profile,
+    degree_statistics,
+    edges_per_node,
+    sibling_similarity,
+    summarize_kb,
+)
+
+__all__ = [
+    "DegreeStats",
+    "degree_statistics",
+    "edges_per_node",
+    "AmbiguityProfile",
+    "ambiguity_profile",
+    "sibling_similarity",
+    "summarize_kb",
+    "ContextStats",
+    "context_stats",
+    "DiscrepancyMix",
+    "discrepancy_mix",
+    "summarize_corpus",
+]

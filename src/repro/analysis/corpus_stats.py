@@ -1,0 +1,121 @@
+"""Corpus-side characterisation: snippet structure and discrepancy mix.
+
+The paper's error analysis ties "insufficient structural information"
+to short snippets (MIMIC-III's "Graft failure due to FSGS recurrence"
+has a single context mention); the Section 4.1 protocol ties evaluation
+difficulty to the mix of discrepancy classes.  Both are measured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from ..text.corpus import Snippet, parse_cui
+from ..text.variants import VariantKind, classify_discrepancy
+
+__all__ = [
+    "ContextStats",
+    "context_stats",
+    "DiscrepancyMix",
+    "discrepancy_mix",
+    "summarize_corpus",
+]
+
+
+@dataclass(frozen=True)
+class ContextStats:
+    """How much structure the query graphs will have to work with."""
+
+    mean_mentions: float  # mentions per snippet (incl. the ambiguous one)
+    min_mentions: int
+    max_mentions: int
+    single_context_fraction: float  # snippets with exactly 1 context mention
+    mean_chars: float
+
+    def __str__(self) -> str:
+        return (
+            f"mentions/snippet mean={self.mean_mentions:.2f} "
+            f"[{self.min_mentions}, {self.max_mentions}], "
+            f"single-context={self.single_context_fraction:.1%}, "
+            f"chars mean={self.mean_chars:.0f}"
+        )
+
+
+def context_stats(snippets: Sequence[Snippet]) -> ContextStats:
+    """Mention-count and length profile of a snippet corpus."""
+    if not snippets:
+        raise ValueError("empty corpus")
+    counts = np.asarray([len(s.mentions) for s in snippets])
+    chars = np.asarray([len(s.text) for s in snippets])
+    return ContextStats(
+        mean_mentions=float(counts.mean()),
+        min_mentions=int(counts.min()),
+        max_mentions=int(counts.max()),
+        single_context_fraction=float((counts <= 2).mean()),
+        mean_chars=float(chars.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class DiscrepancyMix:
+    """Fraction of ambiguous mentions per inferred discrepancy class."""
+
+    fractions: Dict[str, float]
+    n_classified: int
+    n_unknown: int
+
+    def fraction(self, kind: VariantKind) -> float:
+        return self.fractions.get(kind.value, 0.0)
+
+
+def discrepancy_mix(
+    snippets: Sequence[Snippet],
+    kb: HeteroGraph,
+) -> DiscrepancyMix:
+    """Classify every ambiguous mention against its gold entity name.
+
+    Snippets without a resolvable gold are skipped; surfaces no variant
+    generator explains count as unknown.
+    """
+    counts: Dict[str, int] = {}
+    unknown = 0
+    total = 0
+    for snippet in snippets:
+        link_id = snippet.ambiguous_mention.link_id
+        if not link_id:
+            continue
+        gold = parse_cui(link_id)
+        if not 0 <= gold < kb.num_nodes:
+            continue
+        total += 1
+        kind = classify_discrepancy(
+            kb.node_name(gold),
+            snippet.ambiguous_mention.mention,
+            kb.node_aliases(gold),
+        )
+        if kind is None:
+            unknown += 1
+        else:
+            counts[kind.value] = counts.get(kind.value, 0) + 1
+    if total == 0:
+        return DiscrepancyMix({}, 0, 0)
+    fractions = {kind: c / total for kind, c in sorted(counts.items())}
+    return DiscrepancyMix(fractions, total - unknown, unknown)
+
+
+def summarize_corpus(
+    snippets: Sequence[Snippet],
+    kb: Optional[HeteroGraph] = None,
+) -> Dict:
+    """One-call corpus characterisation."""
+    summary: Dict = {
+        "snippets": len(snippets),
+        "context": context_stats(snippets),
+    }
+    if kb is not None:
+        summary["discrepancies"] = discrepancy_mix(snippets, kb)
+    return summary

@@ -1,0 +1,116 @@
+"""Neural-network functional layer: activations, normalisation, dropout,
+and the losses used by ED-GNN and the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    return x.elu(alpha)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))  # constant shift
+    exp = (x - shift).exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout; identity when not training or when grads are off."""
+    if not training or p <= 0.0 or not is_grad_enabled():
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    # eps inside the sqrt keeps the backward pass finite for zero rows.
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    pos_weight: float = 1.0,
+) -> Tensor:
+    """Mean BCE over logits; the Eq. 5 loss is this with targets 1 for the
+    positive pairs and 0 for the sampled negatives.
+
+    ``pos_weight`` scales the positive-class term (set it to the
+    negatives-per-positive ratio to undo class imbalance).
+    """
+    targets = np.asarray(targets, dtype=logits.data.dtype)
+    # log(sigmoid(x)) = -softplus(-x); log(1-sigmoid(x)) = -softplus(x)
+    pos = softplus(-logits) * Tensor(pos_weight * targets)
+    neg = softplus(logits) * Tensor(1.0 - targets)
+    return (pos + neg).mean()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|))."""
+    out_data = np.maximum(x.data, 0.0) + np.log1p(np.exp(-np.abs(x.data)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
+            x._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, target_ids: np.ndarray) -> Tensor:
+    """Mean categorical cross entropy over rows of ``logits``."""
+    target_ids = np.asarray(target_ids, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(len(target_ids))
+    return -logp[rows, target_ids].mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.data.dtype))
+    return (diff * diff).mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Row-wise cosine similarity of two equally shaped tensors."""
+    num = (a * b).sum(axis=axis)
+    den = ((a * a).sum(axis=axis).sqrt() * (b * b).sum(axis=axis).sqrt()) + eps
+    return num / den

@@ -1,0 +1,46 @@
+"""Weight initialisation schemes (Glorot/Xavier, Kaiming/He, uniform)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-bound, bound, size=shape).astype(np.float32)
+    return Tensor(data, requires_grad=True)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    data = (rng.standard_normal(shape) * std).astype(np.float32)
+    return Tensor(data, requires_grad=True)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> Tensor:
+    """He uniform, appropriate before ReLU non-linearities."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    data = rng.uniform(-bound, bound, size=shape).astype(np.float32)
+    return Tensor(data, requires_grad=True)
+
+
+def zeros_init(shape: tuple) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+
+
+def normal_init(shape: tuple, rng: np.random.Generator, std: float = 0.01) -> Tensor:
+    return Tensor((rng.standard_normal(shape) * std).astype(np.float32), requires_grad=True)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

@@ -1,0 +1,148 @@
+"""Standard trainable layers: Linear, Embedding, MLP, Bilinear, LayerNorm,
+and a Sequential container.  These compose into the GNN encoders and the
+matching modules of ED-GNN.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, ModuleList
+from .ops import gather
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((out_features, in_features), rng)
+        self.bias = init.zeros_init((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """A learnable lookup table ``[num_embeddings, dim]``."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = init.normal_init((num_embeddings, dim), rng, std=1.0 / np.sqrt(dim))
+
+    def forward(self, ids) -> Tensor:
+        return gather(self.weight, ids)
+
+
+class Sequential(Module):
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = ModuleList(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Activation(Module):
+    """Wraps a functional activation so it can live inside Sequential."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor]):
+        super().__init__()
+        self.fn = fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+
+class Dropout(Module):
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    The paper's matching module option "a multi-layer perceptron with one
+    hidden layer" is ``MLP(2 * d, [d], 1, rng)`` applied to concatenated
+    pair embeddings.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        dims = [in_features, *hidden, out_features]
+        layers: list[Module] = []
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(a, b, rng))
+            if i < len(dims) - 2:
+                layers.append(Activation(F.relu))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class Bilinear(Module):
+    """Log-bilinear pair scorer ``score(a, b) = a^T W b + bias``.
+
+    One of the three matching-module choices in Section 2.2.
+    """
+
+    def __init__(self, dim_a: int, dim_b: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = init.xavier_uniform((dim_a, dim_b), rng)
+        self.bias = init.zeros_init((1,))
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        from .ops import rows_dot
+
+        return rows_dot(a @ self.weight, b) + self.bias
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = ((x - mu) * (x - mu)).mean(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta

@@ -1,0 +1,154 @@
+"""Module/Parameter containers, mirroring the slice of ``torch.nn.Module``
+that the ED-GNN models need: named parameter traversal, train/eval mode,
+and state-dict round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class for everything with learnable parameters.
+
+    Subclasses assign :class:`Tensor` objects (with ``requires_grad=True``)
+    or other :class:`Module` instances as attributes; those are discovered
+    automatically for optimisation and serialisation.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- traversal ------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            if name == "training":
+                continue
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{path}.{i}", item
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{key}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{path}.{key}", item
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- mode -----------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- grads ----------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state ----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].astype(p.data.dtype).copy()
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of sub-modules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> None:
+        self.items.append(module)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class ModuleDict(Module):
+    """A string-keyed container of sub-modules."""
+
+    def __init__(self, modules=None):
+        super().__init__()
+        self.items = dict(modules or {})
+
+    def __getitem__(self, key: str) -> Module:
+        return self.items[key]
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        self.items[key] = module
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.items
+
+    def keys(self):
+        return self.items.keys()
+
+    def values(self):
+        return self.items.values()

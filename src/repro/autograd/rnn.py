@@ -1,0 +1,78 @@
+"""Recurrent cells used by the baseline systems.
+
+NormCo's coherence model is a GRU over the disease mentions of a snippet;
+DeepMatcher's attention variant summarises token sequences with a GRU
+encoder before soft alignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+from .ops import concat, stack
+from .tensor import Tensor
+
+
+class GRUCell(Module):
+    """Standard gated recurrent unit cell."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_update = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_reset = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_cand = Linear(input_dim + hidden_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = concat([x, h], axis=-1)
+        z = F.sigmoid(self.w_update(xh))
+        r = F.sigmoid(self.w_reset(xh))
+        cand = F.tanh(self.w_cand(concat([x, r * h], axis=-1)))
+        return (1.0 - z) * h + z * cand
+
+
+class GRU(Module):
+    """Unidirectional GRU over a ``[batch, time, dim]`` tensor.
+
+    Returns the sequence of hidden states ``[batch, time, hidden]`` and the
+    final state ``[batch, hidden]``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, h0: Optional[Tensor] = None):
+        batch, time = x.shape[0], x.shape[1]
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim), dtype=np.float32))
+        states: List[Tensor] = []
+        for t in range(time):
+            h = self.cell(x[:, t, :], h)
+            states.append(h)
+        return stack(states, axis=1), h
+
+
+class SequenceEncoder(Module):
+    """GRU encoder that mean-pools hidden states with an attention weighting.
+
+    A compact stand-in for the RNN-with-attention summariser used in
+    DeepMatcher's attention model.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.gru = GRU(input_dim, hidden_dim, rng)
+        self.attn = Linear(hidden_dim, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        states, _ = self.gru(x)  # [batch, time, hidden]
+        scores = self.attn(states)  # [batch, time, 1]
+        weights = F.softmax(scores, axis=1)
+        return (states * weights).sum(axis=1)

@@ -1,0 +1,32 @@
+"""Model checkpointing: state dicts round-trip through ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Serialise a module's parameters to a compressed ``.npz`` file."""
+    state = module.state_dict()
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    # Parameter names may contain '.', which numpy preserves as-is.
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+
+
+def state_allclose(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 1e-6) -> bool:
+    """True when two state dicts have identical keys and near-equal values."""
+    if set(a) != set(b):
+        return False
+    return all(np.allclose(a[k], b[k], atol=atol) for k in a)

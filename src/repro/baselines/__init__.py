@@ -1,0 +1,37 @@
+"""Baseline systems of Section 4.2: DeepMatcher, NormCo and NCEL,
+re-implemented with the information restrictions the paper describes
+(text-only for the first two; untyped local structure for NCEL).
+"""
+
+from .base import (  # noqa: F401
+    BaselineResult,
+    PairBaseline,
+    PairExample,
+    TokenMatrixizer,
+    build_eval_pairs,
+    build_train_pairs,
+    gold_entity,
+)
+from .deepmatcher import DeepMatcher  # noqa: F401
+from .ncel import NCEL  # noqa: F401
+from .normco import NormCo  # noqa: F401
+
+BASELINES = {
+    "DeepMatcher": DeepMatcher,
+    "NormCo": NormCo,
+    "NCEL": NCEL,
+}
+
+__all__ = [
+    "PairBaseline",
+    "PairExample",
+    "BaselineResult",
+    "TokenMatrixizer",
+    "build_eval_pairs",
+    "build_train_pairs",
+    "gold_entity",
+    "DeepMatcher",
+    "NormCo",
+    "NCEL",
+    "BASELINES",
+]

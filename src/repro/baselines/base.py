@@ -1,0 +1,254 @@
+"""Shared scaffolding for the baseline systems of Section 4.2.
+
+All three baselines (DeepMatcher, NormCo, NCEL) are *pair classifiers*:
+given (snippet with an ambiguous mention, candidate KB entity) they emit a
+matching logit.  They train on the same snippets as ED-GNN and are
+evaluated on the *same* evaluation pairs (positive + semantic hard
+negatives, seeded identically — the Section 4.1 protocol), so Table 3's
+columns are directly comparable.
+
+Information restrictions follow the paper's characterisation:
+
+* DeepMatcher and NormCo see **text only** (mention, context surfaces,
+  entity names) — never the KB graph;
+* NCEL additionally sees the **untyped** 1-hop structure among candidate
+  and context entities, but no edge types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Adam, Module, Tensor, clip_grad_norm, no_grad
+from ..autograd import functional as F
+from ..core.negative_sampling import (
+    EvaluationProtocol,
+    SemanticNegativeSampler,
+    UniformNegativeSampler,
+    evaluation_features,
+)
+from ..eval.metrics import PRF, classify_logits, precision_recall_f1
+from ..graph.hetero import HeteroGraph
+from ..text.corpus import Snippet, parse_cui
+from ..text.embedder import HashingNgramEmbedder
+from ..text.tokenize import tokenize
+
+
+@dataclass
+class PairExample:
+    """One (snippet, candidate entity) classification example."""
+
+    snippet: Snippet
+    entity: int
+    label: int
+
+
+@dataclass
+class BaselineResult:
+    test: PRF
+    best_val: PRF
+    best_epoch: int
+    history: List[Tuple[int, float, float]] = field(default_factory=list)  # epoch, loss, val F1
+
+
+def gold_entity(snippet: Snippet) -> int:
+    return parse_cui(snippet.ambiguous_mention.link_id)
+
+
+def build_eval_pairs(
+    kb: HeteroGraph,
+    snippets: Sequence[Snippet],
+    k: int,
+    seed: int,
+    protocol: Optional[EvaluationProtocol] = None,
+) -> List[PairExample]:
+    """The Section 4.1 evaluation pairs: each positive plus ``k`` hard
+    negatives from the shared protocol.  Seeded identically across
+    systems so every method classifies the same pairs."""
+    protocol = protocol or EvaluationProtocol(kb, k, seed)
+    pairs: List[PairExample] = []
+    for snippet in snippets:
+        gold = gold_entity(snippet)
+        pairs.append(PairExample(snippet, gold, 1))
+        for neg in protocol.negatives(gold):
+            pairs.append(PairExample(snippet, int(neg), 0))
+    return pairs
+
+
+def build_train_pairs(
+    kb: HeteroGraph,
+    snippets: Sequence[Snippet],
+    k: int,
+    rng: np.random.Generator,
+    hard_sampler: Optional[SemanticNegativeSampler] = None,
+    hard_fraction: float = 0.5,
+) -> List[PairExample]:
+    """Training pairs: uniform negatives, optionally mixed with semantic
+    hard negatives (the baselines' papers train on the same pair
+    distribution they are evaluated on)."""
+    uniform = UniformNegativeSampler(kb, rng)
+    pairs: List[PairExample] = []
+    for snippet in snippets:
+        gold = gold_entity(snippet)
+        pairs.append(PairExample(snippet, gold, 1))
+        n_hard = int(round(k * hard_fraction)) if hard_sampler is not None else 0
+        negatives: List[int] = []
+        if n_hard:
+            negatives.extend(int(x) for x in hard_sampler.sample(gold, n_hard))
+        if k - len(negatives) > 0:
+            negatives.extend(int(x) for x in uniform.sample(gold, k - len(negatives)))
+        for neg in negatives:
+            pairs.append(PairExample(snippet, neg, 0))
+    return pairs
+
+
+class TokenMatrixizer:
+    """Fixed-length token feature matrices for text models.
+
+    Each string becomes ``[max_tokens, dim]``: per-token hashing-embedder
+    vectors, zero padded/truncated.  Deterministic and training free —
+    the trainable parts live in the models.
+    """
+
+    def __init__(self, embedder: HashingNgramEmbedder, max_tokens: int = 8):
+        self.embedder = embedder
+        self.max_tokens = max_tokens
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def encode(self, text: str) -> np.ndarray:
+        if text in self._cache:
+            return self._cache[text]
+        tokens = [t.text for t in tokenize(text)][: self.max_tokens]
+        out = np.zeros((self.max_tokens, self.embedder.dim), dtype=np.float32)
+        if tokens:
+            out[: len(tokens)] = self.embedder.embed_batch(tokens)
+        self._cache[text] = out
+        return out
+
+    def encode_batch(self, texts: Sequence[str]) -> np.ndarray:
+        return np.stack([self.encode(t) for t in texts])
+
+
+class PairBaseline(Module):
+    """Base trainer loop shared by the three baselines.
+
+    Subclasses implement :meth:`score_pairs` (a differentiable logit per
+    pair) and :meth:`prepare` (any per-corpus precomputation).
+    """
+
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        seed: int = 0,
+        epochs: int = 100,
+        patience: int = 30,
+        lr: float = 3e-3,
+        weight_decay: float = 1e-4,
+        negatives_per_positive: int = 4,
+        eval_negatives: int = 1,
+        grad_clip: float = 5.0,
+    ):
+        super().__init__()
+        self.kb = kb
+        self.seed = seed
+        self.epochs = epochs
+        self.patience = patience
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.negatives_per_positive = negatives_per_positive
+        self.eval_negatives = eval_negatives
+        self.grad_clip = grad_clip
+        self.rng = np.random.default_rng(seed)
+        self._hard_sampler = SemanticNegativeSampler(
+            kb, evaluation_features(kb), np.random.default_rng(seed + 2)
+        )
+
+    # -- to implement ----------------------------------------------------
+    def prepare(self, snippets: Sequence[Snippet]) -> None:
+        """Optional warm-up over the full snippet corpus (vocab, caches)."""
+
+    def score_pairs(self, pairs: Sequence[PairExample]) -> Tensor:
+        raise NotImplementedError
+
+    # -- shared loop -------------------------------------------------------
+    def fit(
+        self,
+        train_snippets: Sequence[Snippet],
+        val_snippets: Sequence[Snippet],
+        test_snippets: Sequence[Snippet],
+    ) -> BaselineResult:
+        self.prepare(list(train_snippets) + list(val_snippets) + list(test_snippets))
+        protocol = EvaluationProtocol(self.kb, self.eval_negatives, self.seed)
+        val_pairs = build_eval_pairs(
+            self.kb, val_snippets, self.eval_negatives, self.seed, protocol
+        )
+        test_pairs = build_eval_pairs(
+            self.kb, test_snippets, self.eval_negatives, self.seed, protocol
+        )
+        optimizer = Adam(self.parameters(), lr=self.lr, weight_decay=self.weight_decay)
+
+        best_val = PRF(0.0, 0.0, 0.0)
+        best_epoch = -1
+        best_state = self.state_dict()
+        history: List[Tuple[int, float, float]] = []
+        stale = 0
+        for epoch in range(self.epochs):
+            self.train()
+            pairs = build_train_pairs(
+                self.kb,
+                train_snippets,
+                self.negatives_per_positive,
+                self.rng,
+                hard_sampler=self._hard_sampler if epoch > 0 else None,
+            )
+            optimizer.zero_grad()
+            logits = self.score_pairs(pairs)
+            labels = np.asarray([p.label for p in pairs], dtype=np.float32)
+            # Weight positives by the imbalance ratio so the models learn
+            # pair discrimination instead of the class prior.
+            loss = F.binary_cross_entropy_with_logits(
+                logits, labels, pos_weight=float(self.negatives_per_positive)
+            )
+            loss.backward()
+            clip_grad_norm(self.parameters(), self.grad_clip)
+            optimizer.step()
+
+            val = self.evaluate(val_pairs)
+            history.append((epoch, float(loss.item()), val.f1))
+            if val.f1 > best_val.f1:
+                best_val, best_epoch, stale = val, epoch, 0
+                best_state = self.state_dict()
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        self.load_state_dict(best_state)
+        test = self.evaluate(test_pairs)
+        return BaselineResult(test=test, best_val=best_val, best_epoch=best_epoch, history=history)
+
+    def evaluate(self, pairs: Sequence[PairExample]) -> PRF:
+        self.eval()
+        with no_grad():
+            logits = self.score_pairs(pairs).data
+        labels = np.asarray([p.label for p in pairs], dtype=bool)
+        return precision_recall_f1(labels, classify_logits(logits))
+
+    # -- common helpers ----------------------------------------------------
+    def entity_names(self, pairs: Sequence[PairExample]) -> List[str]:
+        return [self.kb.node_name(p.entity) for p in pairs]
+
+    def mention_surfaces(self, pairs: Sequence[PairExample]) -> List[str]:
+        return [p.snippet.ambiguous_mention.mention for p in pairs]
+
+    def context_surfaces(self, snippet: Snippet) -> List[str]:
+        return [
+            m.mention
+            for i, m in enumerate(snippet.mentions)
+            if i != snippet.ambiguous_index
+        ]

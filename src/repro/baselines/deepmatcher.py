@@ -1,0 +1,51 @@
+"""DeepMatcher baseline (Mudgal et al. [30]) — the *attention* variant.
+
+A supervised textual entity-matching model: the two sides of a pair (the
+ambiguous mention and the candidate entity name) are encoded as token
+sequences, summarised by a GRU-with-attention encoder, and compared
+through the standard interaction vector ``[u, v, |u - v|, u * v]`` fed to
+an MLP classifier.
+
+As in the paper's setup, DeepMatcher never sees graph structure — only
+the two text attributes — which is exactly why it cannot separate
+acronym collisions ("ARF" matches both expansions equally well).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..autograd import MLP, SequenceEncoder, Tensor, concat
+from ..graph.hetero import HeteroGraph
+from ..text.embedder import HashingNgramEmbedder
+from .base import PairBaseline, PairExample, TokenMatrixizer
+
+
+class DeepMatcher(PairBaseline):
+    """Attention-based sequence matcher over (mention, entity) pairs."""
+
+    name = "DeepMatcher"
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        token_dim: int = 64,
+        hidden_dim: int = 64,
+        max_tokens: int = 8,
+        **kwargs,
+    ):
+        super().__init__(kb, **kwargs)
+        rng = np.random.default_rng(self.seed)
+        self.tokens = TokenMatrixizer(HashingNgramEmbedder(dim=token_dim), max_tokens)
+        self.encoder = SequenceEncoder(token_dim, hidden_dim, rng)
+        self.classifier = MLP(4 * hidden_dim, [hidden_dim], 1, rng)
+
+    def score_pairs(self, pairs: Sequence[PairExample]) -> Tensor:
+        left = Tensor(self.tokens.encode_batch(self.mention_surfaces(pairs)))
+        right = Tensor(self.tokens.encode_batch(self.entity_names(pairs)))
+        u = self.encoder(left)
+        v = self.encoder(right)
+        interaction = concat([u, v, (u - v).abs(), u * v], axis=1)
+        return self.classifier(interaction).reshape(-1)

@@ -1,0 +1,412 @@
+"""Command-line interface for the ED-GNN reproduction.
+
+Run as ``python -m repro`` (or the ``repro`` console script when the
+package is installed with entry points):
+
+* ``repro datasets``  — list the five Section 4.1 datasets and their
+  generated statistics at the active scale;
+* ``repro synth``     — synthesise a dataset and write its KB + snippet
+  corpus to disk;
+* ``repro train``     — train an ED-GNN pipeline on a dataset and save a
+  checkpoint directory;
+* ``repro evaluate``  — train + evaluate any system (baselines included)
+  and print P/R/F1;
+* ``repro link``      — disambiguate a mention in free text against a
+  trained checkpoint;
+* ``repro explain``   — GNN-Explainer attribution for the top match of a
+  mention (Figure 4a);
+* ``repro reproduce`` — regenerate one of the paper's tables end to end.
+
+Every command honours ``REPRO_SCALE`` / ``REPRO_EPOCHS`` like the
+benchmark suite, and accepts explicit overrides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# Command implementations (lazy imports keep --help fast)
+# ---------------------------------------------------------------------------
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import DATASET_NAMES, PROFILES, load_dataset
+    from repro.eval import format_table
+
+    rows = []
+    for name in DATASET_NAMES:
+        profile = PROFILES[name]
+        if args.profile_only:
+            rows.append(
+                [name, str(profile.num_nodes), str(profile.num_edges), str(profile.num_snippets)]
+            )
+            continue
+        dataset = load_dataset(name, scale=args.scale)
+        stats = dataset.stats()
+        rows.append(
+            [
+                name,
+                str(stats["nodes"]),
+                str(stats["edges"]),
+                str(stats["snippets"]),
+                str(len(dataset.train)),
+                str(len(dataset.val)),
+                str(len(dataset.test)),
+            ]
+        )
+    if args.profile_only:
+        header = ["Dataset", "Nodes (Table 2)", "Edges (Table 2)", "Snippets"]
+        title = "Dataset profiles (paper's Table 2 at scale 1.0)"
+    else:
+        header = ["Dataset", "Nodes", "Edges", "Snippets", "Train", "Val", "Test"]
+        title = f"Generated datasets (scale={args.scale if args.scale else 'default'})"
+    print(format_table(header, rows, title=title))
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.graph import save_graph
+    from repro.text import save_snippets
+
+    dataset = load_dataset(args.dataset, scale=args.scale, use_cache=False)
+    os.makedirs(args.out, exist_ok=True)
+    kb_path = os.path.join(args.out, "kb.json")
+    save_graph(dataset.kb, kb_path)
+    for split_name, snippets in (
+        ("train", dataset.train),
+        ("val", dataset.val),
+        ("test", dataset.test),
+    ):
+        save_snippets(snippets, os.path.join(args.out, f"{split_name}.jsonl"))
+    stats = dataset.stats()
+    print(
+        f"wrote {args.dataset}: {stats['nodes']} nodes, "
+        f"{stats['edges']} edges, {stats['snippets']} snippets -> {args.out}"
+    )
+    return 0
+
+
+def _train_pipeline(args: argparse.Namespace):
+    """Shared by train/link/explain when a checkpoint must be built."""
+    from repro.core import EDPipeline, ModelConfig, TrainConfig
+    from repro.datasets import load_dataset
+    from repro.eval.evaluator import BEST_LAYERS, BEST_VARIANT
+
+    dataset = load_dataset(args.dataset, scale=args.scale, use_cache=False)
+    variant = args.variant or BEST_VARIANT.get(args.dataset, "magnn")
+    layers = args.layers or BEST_LAYERS.get(args.dataset, 3)
+    epochs = args.epochs or int(os.environ.get("REPRO_EPOCHS", "80"))
+    pipeline = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant=variant, num_layers=layers, seed=args.seed),
+        train_config=TrainConfig(
+            epochs=epochs,
+            patience=max(10, epochs // 3),
+            seed=args.seed,
+            use_hard_negatives=not args.no_hard_negatives,
+        ),
+        augment_query_graphs=not args.no_augment,
+    )
+    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    return pipeline, result, variant
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import save_pipeline
+
+    pipeline, result, variant = _train_pipeline(args)
+    print(
+        f"ED-GNN({variant}) on {args.dataset}: "
+        f"test P={result.test.precision:.3f} R={result.test.recall:.3f} "
+        f"F1={result.test.f1:.3f} (best epoch {result.best_epoch})"
+    )
+    if args.out:
+        save_pipeline(pipeline, args.out)
+        print(f"checkpoint saved -> {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.eval.evaluator import run_system
+
+    run = run_system(
+        args.dataset,
+        args.system,
+        num_layers=args.layers,
+        epochs=args.epochs,
+        seed=args.seed,
+        scale=args.scale,
+        use_hard_negatives=not args.no_hard_negatives,
+        augment_query_graphs=not args.no_augment,
+    )
+    payload = {
+        "dataset": args.dataset,
+        "system": args.system,
+        "precision": round(run.test.precision, 4),
+        "recall": round(run.test.recall, 4),
+        "f1": round(run.test.f1, 4),
+        "best_epoch": run.best_epoch,
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(
+            f"{args.system} on {args.dataset}: "
+            f"P={run.test.precision:.3f} R={run.test.recall:.3f} F1={run.test.f1:.3f} "
+            f"(best epoch {run.best_epoch})"
+        )
+    return 0
+
+
+def _load_checkpoint(path: str):
+    from repro.core import load_pipeline
+
+    if not os.path.isdir(path):
+        raise SystemExit(f"checkpoint directory not found: {path}")
+    return load_pipeline(path)
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    pipeline = _load_checkpoint(args.checkpoint)
+    prediction = pipeline.disambiguate(args.text, args.mention, top_k=args.top_k)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mention": prediction.mention,
+                    "candidates": [
+                        {
+                            "entity_id": e,
+                            "name": pipeline.entity_name(e),
+                            "score": round(s, 4),
+                        }
+                        for e, s in zip(prediction.ranked_entities, prediction.scores)
+                    ],
+                }
+            )
+        )
+        return 0
+    print(f"mention: {prediction.mention!r}")
+    for rank, (entity, score) in enumerate(
+        zip(prediction.ranked_entities, prediction.scores), start=1
+    ):
+        print(f"  {rank}. {pipeline.entity_name(entity)}  (score {score:.3f})")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import GNNExplainer
+
+    pipeline = _load_checkpoint(args.checkpoint)
+    snippet = pipeline.snippet_from_text(args.text, args.mention)
+    prediction = pipeline.disambiguate_snippet(snippet, top_k=1)
+    target = prediction.top()
+    query_graph = pipeline.build_query_graphs([snippet])[0]
+    explainer = GNNExplainer(pipeline.model, pipeline.kb, epochs=args.opt_epochs)
+    explanation = explainer.explain(
+        query_graph, target, k_hops=args.hops, top_k=args.top_k
+    )
+    print(
+        f"match: {explanation.mention_surface!r} -> {explanation.entity_name!r} "
+        f"(score {explanation.matching_score:.3f})"
+    )
+    if not explanation.top_edges:
+        print("  (no edges in the candidate's ego network)")
+    for edge in explanation.top_edges:
+        print(f"  {edge}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.eval.evaluator import BEST_VARIANT, run_best_variant, run_system
+
+    datasets: List[str] = args.datasets
+    epochs = args.epochs
+
+    if args.experiment == "table2":
+        from repro.datasets import load_dataset
+
+        rows = []
+        for name in datasets:
+            dataset = load_dataset(name, scale=args.scale)
+            stats = dataset.stats()
+            rows.append([name, str(stats["nodes"]), str(stats["edges"])])
+        print(format_table(["Dataset", "# Nodes", "# Edges"], rows, title="Table 2"))
+        return 0
+
+    if args.experiment == "table3":
+        systems = args.systems or [
+            "DeepMatcher", "NormCo", "NCEL", "graphsage", "rgcn", "magnn",
+        ]
+        rows = []
+        for name in datasets:
+            row = [name]
+            for system in systems:
+                run = run_system(name, system, epochs=epochs, seed=args.seed, scale=args.scale)
+                row.append(f"{run.test.f1:.3f}")
+            rows.append(row)
+        print(
+            format_table(
+                ["Dataset"] + [f"{s} F1" for s in systems], rows, title="Table 3 (F1)"
+            )
+        )
+        return 0
+
+    if args.experiment == "table4":
+        configs = [
+            ("Basic", dict(use_hard_negatives=False, augment_query_graphs=False)),
+            ("Query graph aug", dict(use_hard_negatives=False, augment_query_graphs=True)),
+            ("Neg sampling", dict(use_hard_negatives=True, augment_query_graphs=False)),
+        ]
+        rows = []
+        for name in datasets:
+            row = [f"ED-GNN({BEST_VARIANT[name]})", name]
+            for _, kwargs in configs:
+                run = run_best_variant(name, epochs=epochs, seed=args.seed, scale=args.scale, **kwargs)
+                row.append(f"{run.test.f1:.3f}")
+            rows.append(row)
+        print(
+            format_table(
+                ["Method", "Dataset"] + [label for label, _ in configs],
+                rows,
+                title="Table 4 (F1)",
+            )
+        )
+        return 0
+
+    if args.experiment == "table5":
+        layer_range = [1, 2, 3, 4]
+        rows = []
+        for name in datasets:
+            row = [name]
+            for layers in layer_range:
+                run = run_best_variant(
+                    name, epochs=epochs, seed=args.seed, scale=args.scale, num_layers=layers
+                )
+                row.append(f"{run.test.f1:.3f}")
+            rows.append(row)
+        print(
+            format_table(
+                ["Dataset"] + [f"{n} layers" for n in layer_range],
+                rows,
+                title="Table 5 (F1 by number of layers)",
+            )
+        )
+        return 0
+
+    if args.experiment == "fig4b":
+        for name in datasets:
+            run = run_best_variant(name, epochs=epochs, seed=args.seed, scale=args.scale)
+            curve = run.convergence
+            checkpoints = [e for e in (0, 5, 10, 15, 20, 30, epochs or 0) if e < len(curve)]
+            series = "  ".join(f"ep{e}:{curve[e][1]:.3f}" for e in checkpoints)
+            print(f"{name} ({BEST_VARIANT[name]}): {series}")
+        return 0
+
+    raise SystemExit(f"unknown experiment {args.experiment!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def _add_common_training_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=None, help="training epochs")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale in (0, 1]")
+    parser.add_argument("--layers", type=int, default=None, help="GNN layers")
+    parser.add_argument(
+        "--no-hard-negatives",
+        action="store_true",
+        help="disable semantic-driven negative sampling (Section 3.2)",
+    )
+    parser.add_argument(
+        "--no-augment",
+        action="store_true",
+        help="disable query-graph semantic augmentation (Section 3.1)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ED-GNN medical entity disambiguation (SIGMOD 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the five evaluation datasets")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument(
+        "--profile-only",
+        action="store_true",
+        help="print the Table 2 target sizes without generating",
+    )
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("synth", help="synthesise a dataset to disk")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("train", help="train an ED-GNN pipeline, optionally checkpoint it")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--variant", default=None, help="encoder variant (default: best per dataset)")
+    p.add_argument("--out", default=None, help="checkpoint directory to write")
+    _add_common_training_flags(p)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("evaluate", help="train + evaluate any system on a dataset")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--system", required=True, help="DeepMatcher/NormCo/NCEL or an ED-GNN variant")
+    p.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    _add_common_training_flags(p)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("link", help="disambiguate a mention against a checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--text", required=True)
+    p.add_argument("--mention", default=None, help="surface form to disambiguate")
+    p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_link)
+
+    p = sub.add_parser("explain", help="GNN-Explainer attribution for the top match")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--text", required=True)
+    p.add_argument("--mention", default=None)
+    p.add_argument("--top-k", type=int, default=3)
+    p.add_argument("--hops", type=int, default=2)
+    p.add_argument("--opt-epochs", type=int, default=100, help="mask optimisation steps")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("reproduce", help="regenerate one of the paper's experiments")
+    p.add_argument(
+        "--experiment",
+        required=True,
+        choices=["table2", "table3", "table4", "table5", "fig4b"],
+    )
+    p.add_argument("--datasets", nargs="+", default=["NCBI", "BioCDR"])
+    p.add_argument("--systems", nargs="+", default=None, help="table3 only")
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

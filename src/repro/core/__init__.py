@@ -1,0 +1,82 @@
+"""ED-GNN core: the paper's primary contribution.
+
+Query-graph construction with semantic augmentation (Section 3.1),
+semantic-driven negative sampling (Section 3.2), the Siamese model and
+matching modules (Section 2.2), the trainer (Section 4.2), the end-to-end
+pipeline, and the GNN-Explainer (Section 4.4).
+"""
+
+from .candidates import Candidate, FuzzyCandidateGenerator  # noqa: F401
+from .explainer import EdgeAttribution, Explanation, GNNExplainer  # noqa: F401
+from .matching import (  # noqa: F401
+    BilinearMatcher,
+    DotProductMatcher,
+    MLPMatcher,
+    make_matcher,
+)
+from .model import EDGNN, VARIANTS, ModelConfig, build_encoder  # noqa: F401
+from .negative_sampling import (  # noqa: F401
+    ConstantSchedule,
+    CurriculumSchedule,
+    HardNegativePool,
+    NegativeSampler,
+    SemanticNegativeSampler,
+    UniformNegativeSampler,
+)
+from .pipeline import EDPipeline, Prediction  # noqa: F401
+from .serialization import CHECKPOINT_FILES, load_pipeline, save_pipeline  # noqa: F401
+from .query_graph import (  # noqa: F401
+    RELATED,
+    QueryGraph,
+    build_query_graph,
+    build_query_graphs,
+    related_relation_id,
+    with_related_relation,
+)
+from .trainer import (  # noqa: F401
+    EDGNNTrainer,
+    EpochStats,
+    PairRecord,
+    SplitPack,
+    TrainConfig,
+    TrainResult,
+)
+
+__all__ = [
+    "QueryGraph",
+    "build_query_graph",
+    "build_query_graphs",
+    "with_related_relation",
+    "related_relation_id",
+    "RELATED",
+    "DotProductMatcher",
+    "MLPMatcher",
+    "BilinearMatcher",
+    "make_matcher",
+    "UniformNegativeSampler",
+    "SemanticNegativeSampler",
+    "NegativeSampler",
+    "CurriculumSchedule",
+    "ConstantSchedule",
+    "HardNegativePool",
+    "EDGNN",
+    "ModelConfig",
+    "VARIANTS",
+    "build_encoder",
+    "EDGNNTrainer",
+    "TrainConfig",
+    "TrainResult",
+    "EpochStats",
+    "PairRecord",
+    "SplitPack",
+    "EDPipeline",
+    "Prediction",
+    "save_pipeline",
+    "load_pipeline",
+    "CHECKPOINT_FILES",
+    "GNNExplainer",
+    "Explanation",
+    "EdgeAttribution",
+    "FuzzyCandidateGenerator",
+    "Candidate",
+]

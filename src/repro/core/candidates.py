@@ -1,0 +1,109 @@
+"""Fuzzy candidate generation for surfaces the inverted index misses.
+
+Section 3.1's inverted index covers exact names, synonyms, acronyms and
+abbreviations — but a typo'd mention ("protienuria") has *no* index key.
+The paper's pipeline then falls back to all type-compatible entities,
+which makes ranking needlessly hard on large KBs.  This module adds the
+standard production remedy: approximate lexical retrieval.
+
+Two stages, both offline-friendly:
+
+1. **n-gram retrieval** — cosine similarity between the surface's
+   character-n-gram hash embedding and every entity name (the same
+   embedder that builds the initial node features, so no extra state);
+2. **edit-distance re-ranking** — Levenshtein distance breaks cosine
+   ties and filters implausible matches.
+
+The generator is opt-in from :class:`~repro.core.pipeline.EDPipeline`
+(``fuzzy_candidates=True``); the evaluation protocol never uses it, so
+benchmark numbers are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from ..graph.index import InvertedIndex, normalize_surface
+from ..text.embedder import HashingNgramEmbedder
+from ..text.variants import edit_distance
+
+__all__ = ["Candidate", "FuzzyCandidateGenerator"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate entity with its retrieval provenance."""
+
+    node: int
+    score: float
+    source: str  # "index" | "ngram"
+
+
+class FuzzyCandidateGenerator:
+    """Index lookup first, approximate lexical retrieval as fallback."""
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        index: Optional[InvertedIndex] = None,
+        embedder: Optional[HashingNgramEmbedder] = None,
+        min_similarity: float = 0.25,
+        max_edit_ratio: float = 0.6,
+    ):
+        """``min_similarity`` floors the n-gram cosine; ``max_edit_ratio``
+        rejects candidates whose edit distance exceeds that fraction of
+        the longer string (1.0 disables the filter)."""
+        self.kb = kb
+        self.index = index or InvertedIndex(kb)
+        self.embedder = embedder or HashingNgramEmbedder(dim=128)
+        self.min_similarity = min_similarity
+        self.max_edit_ratio = max_edit_ratio
+        names = [kb.node_name(v) for v in range(kb.num_nodes)]
+        self._normalized = [normalize_surface(n) for n in names]
+        self._name_matrix = self.embedder.embed_batch(names)
+
+    # ------------------------------------------------------------------
+    def candidates(self, surface: str, top_k: int = 10) -> List[Candidate]:
+        """Ranked candidates for a surface form.
+
+        Index hits (exact / alias / acronym) come first with score 1.0;
+        when the index has nothing, the n-gram + edit-distance fallback
+        fills up to ``top_k`` candidates.
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        exact = self.index.lookup(surface)
+        if exact:
+            return [Candidate(node, 1.0, "index") for node in exact[:top_k]]
+        return self._fuzzy(surface, top_k)
+
+    def _fuzzy(self, surface: str, top_k: int) -> List[Candidate]:
+        query = self.embedder.embed(surface)
+        sims = self._name_matrix @ query
+        # Over-fetch so the edit filter still leaves top_k survivors.
+        fetch = min(len(sims), max(4 * top_k, 16))
+        order = np.argpartition(-sims, fetch - 1)[:fetch]
+        norm_surface = normalize_surface(surface)
+
+        scored: List[Candidate] = []
+        for node in order.tolist():
+            similarity = float(sims[node])
+            if similarity < self.min_similarity:
+                continue
+            name = self._normalized[node]
+            longest = max(len(norm_surface), len(name))
+            if longest and self.max_edit_ratio < 1.0:
+                ratio = edit_distance(norm_surface, name) / longest
+                if ratio > self.max_edit_ratio:
+                    continue
+            scored.append(Candidate(node, similarity, "ngram"))
+        scored.sort(key=lambda c: (-c.score, c.node))
+        return scored[:top_k]
+
+    def candidate_ids(self, surface: str, top_k: int = 10) -> List[int]:
+        """Just the node ids (the pipeline's consumption format)."""
+        return [c.node for c in self.candidates(surface, top_k)]

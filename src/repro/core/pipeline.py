@@ -1,0 +1,231 @@
+"""End-to-end medical entity disambiguation pipeline (Figure 2).
+
+``EDPipeline`` owns everything between raw text and a ranked list of KB
+entities: the inverted index, the simulated NER, the hashing embedder,
+query-graph construction, the Siamese model, training, and inference.
+It is the public API the examples and benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..graph.hetero import HeteroGraph
+from ..graph.index import InvertedIndex
+from ..text.corpus import MentionAnnotation, Snippet, mint_cui
+from ..text.embedder import HashingNgramEmbedder, node_features_for_graph
+from ..text.ner import DictionaryNER
+from .model import EDGNN, ModelConfig
+from .query_graph import QueryGraph, build_query_graph, build_query_graphs, with_related_relation
+from .trainer import EDGNNTrainer, TrainConfig, TrainResult
+
+
+@dataclass
+class Prediction:
+    """Ranked disambiguation result for one mention."""
+
+    mention: str
+    ranked_entities: List[int]
+    scores: List[float]
+
+    def top(self) -> int:
+        return self.ranked_entities[0]
+
+
+class EDPipeline:
+    """Text snippet -> query graph -> Siamese GNN -> ranked KB entities."""
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        model_config: Optional[ModelConfig] = None,
+        train_config: Optional[TrainConfig] = None,
+        augment_query_graphs: bool = True,
+        embedder: Optional[HashingNgramEmbedder] = None,
+        fuzzy_candidates: bool = False,
+    ):
+        self.kb = kb
+        self.model_config = model_config or ModelConfig()
+        self.train_config = train_config or TrainConfig()
+        self.augment = augment_query_graphs
+        self.fuzzy_candidates = fuzzy_candidates
+        self.embedder = embedder or HashingNgramEmbedder(dim=self.model_config.feature_dim)
+        if self.embedder.dim != self.model_config.feature_dim:
+            raise ValueError("embedder dim must equal model feature_dim")
+
+        # Schema shared by KB and query graphs (RELATED-extended).
+        self.schema = with_related_relation(kb.schema)
+        if kb.schema is not self.schema and len(kb.schema.relations) != len(self.schema.relations):
+            # KB built on the raw schema: rebuild is unnecessary — relation
+            # ids are a prefix of the extended schema, so we can just swap
+            # the schema reference (ids stay valid).
+            kb.schema = self.schema
+        if kb.features is None or kb.features.shape[1] != self.model_config.feature_dim:
+            kb.set_features(node_features_for_graph(kb, self.embedder))
+
+        self.index = InvertedIndex(kb)
+        self.ner = DictionaryNER(kb, self.index)
+        self._fuzzy_generator = None
+        if fuzzy_candidates:
+            from .candidates import FuzzyCandidateGenerator
+
+            self._fuzzy_generator = FuzzyCandidateGenerator(
+                kb, index=self.index, embedder=self.embedder
+            )
+        if self.model_config.variant in ("magnn", "han") and self.model_config.metapaths is None:
+            # Data-driven metapath curation from the KB (MAGNN/HAN use a
+            # small hand-picked set per dataset in the original papers).
+            from ..graph.metapath import select_metapaths
+
+            self.model_config.metapaths = select_metapaths(
+                kb, max_metapaths=self.model_config.max_metapaths
+            )
+        self.model = EDGNN(self.model_config, self.schema)
+        self.trainer: Optional[EDGNNTrainer] = None
+        self._ref_compiled = None
+        self._h_ref: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def build_query_graphs(self, snippets: Sequence[Snippet]) -> List[QueryGraph]:
+        return build_query_graphs(
+            snippets, self.kb, self.index, self.embedder,
+            augment=self.augment, schema=self.schema,
+        )
+
+    def fit(
+        self,
+        train_snippets: Sequence[Snippet],
+        val_snippets: Sequence[Snippet],
+        test_snippets: Sequence[Snippet],
+    ) -> TrainResult:
+        """Train on snippet splits; returns the trainer's result bundle."""
+        self.trainer = EDGNNTrainer(
+            self.model,
+            self.kb,
+            self.build_query_graphs(train_snippets),
+            self.build_query_graphs(val_snippets),
+            self.build_query_graphs(test_snippets),
+            config=self.train_config,
+        )
+        result = self.trainer.fit()
+        self._h_ref = None  # force re-embedding with the trained weights
+        return result
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _ref_embeddings(self) -> np.ndarray:
+        if self._h_ref is None:
+            self.model.eval()
+            if self._ref_compiled is None:
+                self._ref_compiled = self.model.compile(self.kb)
+            with no_grad():
+                self._h_ref = self.model.embed(
+                    self._ref_compiled, Tensor(self.kb.features)
+                ).data
+        return self._h_ref
+
+    def snippet_from_text(self, text: str, ambiguous_surface: Optional[str] = None) -> Snippet:
+        """Run the (simulated) NER over raw text and assemble a snippet.
+
+        ``ambiguous_surface`` picks the mention to disambiguate; by
+        default the first ambiguous/unknown mention is chosen.
+        """
+        mentions = self.ner.extract(text)
+        if not mentions:
+            raise ValueError("NER found no entity mentions in the text")
+        annotations = []
+        ambiguous_index = None
+        for i, m in enumerate(mentions):
+            gold = ""
+            if m.is_linked:
+                gold = mint_cui(m.candidates[0])
+            category = m.type_guess or (m.candidate_types[0] if m.candidate_types else self.schema.node_types[0])
+            annotations.append(
+                MentionAnnotation(m.surface, m.start, m.end, category, gold)
+            )
+            if ambiguous_surface is not None:
+                if m.surface.lower() == ambiguous_surface.lower():
+                    ambiguous_index = i
+            elif ambiguous_index is None and not m.is_linked:
+                ambiguous_index = i
+        if ambiguous_index is None:
+            ambiguous_index = 0
+        # The ambiguous mention's gold is unknown at inference time.
+        target = annotations[ambiguous_index]
+        annotations[ambiguous_index] = MentionAnnotation(
+            target.mention, target.start_offset, target.end_offset, target.category, ""
+        )
+        return Snippet(text=text, mentions=annotations, ambiguous_index=ambiguous_index)
+
+    def disambiguate(
+        self,
+        text: str,
+        ambiguous_surface: Optional[str] = None,
+        top_k: int = 5,
+        restrict_to_candidates: bool = True,
+    ) -> Prediction:
+        """Link one mention of a raw text snippet to the KB.
+
+        With ``restrict_to_candidates`` the ranking is over the index's
+        candidate set for the surface (falling back to type-compatible
+        entities, then the whole KB); otherwise over the whole KB.
+        """
+        snippet = self.snippet_from_text(text, ambiguous_surface)
+        return self.disambiguate_snippet(snippet, top_k, restrict_to_candidates)
+
+    def disambiguate_snippet(
+        self,
+        snippet: Snippet,
+        top_k: int = 5,
+        restrict_to_candidates: bool = True,
+    ) -> Prediction:
+        qg = build_query_graph(
+            snippet, self.kb, self.index, self.embedder,
+            augment=self.augment, schema=self.schema,
+        )
+        surface = qg.mention_surface
+        candidates = self.index.lookup(surface) if restrict_to_candidates else []
+        if not candidates and restrict_to_candidates and self._fuzzy_generator is not None:
+            # Approximate lexical retrieval for index misses (typos etc.).
+            candidates = self._fuzzy_generator.candidate_ids(surface, top_k=20)
+        if not candidates:
+            category = snippet.ambiguous_mention.category
+            if category in self.schema.node_types:
+                candidates = self.kb.nodes_of_type(category).tolist()
+        if not candidates:
+            candidates = list(range(self.kb.num_nodes))
+
+        self.model.eval()
+        with no_grad():
+            compiled = self.model.compile(qg.graph)
+            x_qry = Tensor(qg.graph.features)
+            h_qry = self.model.embed(compiled, x_qry)
+            h_ref = Tensor(self._ref_embeddings())
+            candidate_ids = np.asarray(candidates, dtype=np.int64)
+            n = len(candidate_ids)
+            mention_ids = np.full(n, qg.mention_node, dtype=np.int64)
+            scores = self.model.score_pairs(
+                h_qry,
+                mention_ids,
+                h_ref,
+                candidate_ids,
+                x_query=x_qry,
+                x_ref=Tensor(self.kb.features),
+            ).data
+
+        order = np.argsort(-scores, kind="stable")[:top_k]
+        return Prediction(
+            mention=surface,
+            ranked_entities=[int(candidate_ids[i]) for i in order],
+            scores=[float(scores[i]) for i in order],
+        )
+
+    def entity_name(self, entity_id: int) -> str:
+        return self.kb.node_name(entity_id)

@@ -1,0 +1,209 @@
+"""Query-graph construction with semantic augmentation (Section 3.1,
+Algorithm 1).
+
+A snippet's entity mentions become the nodes of ``G_qry``; the ambiguous
+mention is the "?" node.  Two construction modes are provided:
+
+* **basic** — every pair of mention nodes is connected with a generic
+  RELATED edge and self-loops are added (the clique construction the
+  paper attributes to prior work [3, 48]); no KB knowledge is used.
+* **augmented** (Algorithm 1) — edges are copied from ``G_ref`` between
+  matched mentions, with their relation types; the unknown/ambiguous
+  mention is wired to matched mentions whose types the KB schema declares
+  compatible, with the corresponding relation type.
+
+Both modes share the schema of ``G_ref`` *extended with one RELATED
+relation* (see :func:`with_related_relation`), so the Siamese encoders
+can consume KB and query graphs with one weight bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from ..graph.index import InvertedIndex
+from ..graph.schema import GraphSchema, Relation
+from ..text.corpus import Snippet, parse_cui
+from ..text.embedder import HashingNgramEmbedder
+
+RELATED = "RELATED"
+
+
+def with_related_relation(schema: GraphSchema) -> GraphSchema:
+    """Extend a schema with the generic RELATED relation used by basic
+    (non-augmented) query graphs.  Idempotent."""
+    names = [r.name for r in schema.relations]
+    if RELATED in names:
+        return schema
+    anchor = schema.node_types[0]
+    return GraphSchema(
+        schema.node_types,
+        list(schema.relations) + [Relation(RELATED, anchor, anchor)],
+    )
+
+
+def related_relation_id(schema: GraphSchema) -> int:
+    for i, rel in enumerate(schema.relations):
+        if rel.name == RELATED:
+            return i
+    raise KeyError("schema has no RELATED relation; call with_related_relation")
+
+
+@dataclass
+class QueryGraph:
+    """``G_qry`` plus the bookkeeping the trainer and evaluator need."""
+
+    graph: HeteroGraph
+    mention_node: int  # the "?" node to disambiguate
+    mention_surface: str
+    gold_entity: Optional[int]  # KB node id (None outside training data)
+    anchors: Dict[int, int] = field(default_factory=dict)  # query node -> KB node
+    multi_type_mentions: int = 0  # mentions whose index candidates span types
+    extra_edges: int = 0  # edges added for the unknown mention (Alg. 1 l.11-20)
+
+    @property
+    def num_context_nodes(self) -> int:
+        return self.graph.num_nodes - 1
+
+
+def _mention_type_guess(
+    index: InvertedIndex,
+    surface: str,
+    fallback: str,
+) -> Tuple[str, int]:
+    """Entity-type inference for a mention (Section 3.1): the types of its
+    index candidates; multi-type mentions keep their first type but are
+    counted (they are the paper's first error class, Table 6)."""
+    types = index.candidate_types(surface)
+    if not types:
+        return fallback, 0
+    if len(types) == 1:
+        return types[0], 0
+    return types[0], 1
+
+
+def build_query_graph(
+    snippet: Snippet,
+    ref_graph: HeteroGraph,
+    index: InvertedIndex,
+    embedder: HashingNgramEmbedder,
+    augment: bool = True,
+    schema: Optional[GraphSchema] = None,
+) -> QueryGraph:
+    """Construct ``G_qry`` for one snippet (Algorithm 1).
+
+    ``schema`` must be the RELATED-extended schema shared by the KB and
+    all query graphs; defaults to extending ``ref_graph.schema``.
+
+    The snippet's annotated mentions are the node set.  Context mentions
+    are matched against the KB through the inverted index (EM_match);
+    the ambiguous mention is never index-linked — it is the entity the
+    model must disambiguate.
+    """
+    schema = schema if schema is not None else with_related_relation(ref_graph.schema)
+    qry = HeteroGraph(schema)
+
+    ambiguous = snippet.ambiguous_mention
+    gold_entity = parse_cui(ambiguous.link_id) if ambiguous.link_id else None
+
+    anchors: Dict[int, int] = {}
+    multi_type = 0
+    surfaces: List[str] = []
+
+    # --- nodes: the ambiguous "?" node first, then context mentions ----
+    ambiguous_type, flagged = _mention_type_guess(index, ambiguous.mention, ambiguous.category)
+    multi_type += flagged
+    mention_node = qry.add_node(ambiguous.category or ambiguous_type, ambiguous.mention)
+    surfaces.append(ambiguous.mention)
+
+    for i, annotation in enumerate(snippet.mentions):
+        if i == snippet.ambiguous_index:
+            continue
+        candidates = index.lookup(annotation.mention)
+        node_type, flagged = _mention_type_guess(
+            index, annotation.mention, annotation.category
+        )
+        multi_type += flagged
+        q_node = qry.add_node(node_type, annotation.mention)
+        surfaces.append(annotation.mention)
+        if len(candidates) >= 1:
+            # EM_match: keep the first candidate as the anchor entity
+            # (exactly one for unambiguous surfaces).
+            anchors[q_node] = candidates[0]
+
+    # --- edges ----------------------------------------------------------
+    extra_edges = 0
+    if not augment:
+        related = related_relation_id(schema)
+        n = qry.num_nodes
+        for u in range(n):
+            qry.add_edge(u, u, related)  # self-loops, per [3, 48]
+            for v in range(u + 1, n):
+                qry.add_edge(u, v, related)
+    else:
+        # Lines 6-10: copy KB edges between matched mention pairs.
+        anchored = sorted(anchors)
+        for ai, u_q in enumerate(anchored):
+            u_r = anchors[u_q]
+            for v_q in anchored[ai + 1 :]:
+                v_r = anchors[v_q]
+                rel = ref_graph.edge_between(u_r, v_r)
+                if rel is not None:
+                    qry.add_edge(u_q, v_q, rel)
+                    continue
+                rel = ref_graph.edge_between(v_r, u_r)
+                if rel is not None:
+                    qry.add_edge(v_q, u_q, rel)
+
+        # Lines 11-20: wire unknown mentions through schema-compatible
+        # relations.  The ambiguous "?" node is always unknown; anchored
+        # nodes are known.
+        unknown_nodes = [v for v in range(qry.num_nodes) if v not in anchors]
+        for u_q in unknown_nodes:
+            et = qry.node_type_name(u_q)
+            partners = schema.partner_types(et)  # type name -> relation id
+            for v_q in range(qry.num_nodes):
+                if v_q == u_q:
+                    continue
+                v_type = qry.node_type_name(v_q)
+                if v_type not in partners:
+                    continue
+                rel_id = partners[v_type]
+                rel = schema.relation(rel_id)
+                # Respect the declared direction of the relation.
+                if rel.src_type == et:
+                    qry.add_edge(u_q, v_q, rel_id)
+                else:
+                    qry.add_edge(v_q, u_q, rel_id)
+                extra_edges += 1
+
+    qry.set_features(embedder.embed_batch(surfaces))
+    return QueryGraph(
+        graph=qry,
+        mention_node=mention_node,
+        mention_surface=ambiguous.mention,
+        gold_entity=gold_entity,
+        anchors=anchors,
+        multi_type_mentions=multi_type,
+        extra_edges=extra_edges,
+    )
+
+
+def build_query_graphs(
+    snippets: Sequence[Snippet],
+    ref_graph: HeteroGraph,
+    index: InvertedIndex,
+    embedder: HashingNgramEmbedder,
+    augment: bool = True,
+    schema: Optional[GraphSchema] = None,
+) -> List[QueryGraph]:
+    """Vectorised convenience over :func:`build_query_graph`."""
+    schema = schema if schema is not None else with_related_relation(ref_graph.schema)
+    return [
+        build_query_graph(s, ref_graph, index, embedder, augment=augment, schema=schema)
+        for s in snippets
+    ]

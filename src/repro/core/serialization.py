@@ -1,0 +1,145 @@
+"""Persisting a trained :class:`~repro.core.pipeline.EDPipeline`.
+
+A pipeline checkpoint is a directory:
+
+* ``kb.json`` (+ ``kb.features.npy``) — the reference graph via
+  :func:`repro.graph.save_graph`;
+* ``config.json`` — model config, train config, embedder config, and the
+  augmentation flag;
+* ``weights.npz`` — the Siamese model's parameters.
+
+:func:`load_pipeline` rebuilds the pipeline (index, NER, compiled
+structures are derived state and are reconstructed on load), restores
+the weights, and is immediately ready for
+:meth:`~repro.core.pipeline.EDPipeline.disambiguate`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Optional
+
+from ..graph.io import load_graph, save_graph
+from ..graph.metapath import Metapath
+from ..text.embedder import HashingNgramEmbedder
+from .model import ModelConfig
+from .negative_sampling import ConstantSchedule, CurriculumSchedule
+from .pipeline import EDPipeline
+from .trainer import TrainConfig
+
+__all__ = ["save_pipeline", "load_pipeline", "CHECKPOINT_FILES"]
+
+CHECKPOINT_FILES = ("kb.json", "config.json", "weights.npz")
+
+_FORMAT_VERSION = 1
+
+
+def _schedule_to_dict(schedule: CurriculumSchedule) -> dict:
+    return {
+        "kind": "constant" if isinstance(schedule, ConstantSchedule) else "curriculum",
+        "max_hard_fraction": schedule.max_hard_fraction,
+        "warmup_epochs": schedule.warmup_epochs,
+    }
+
+
+def _schedule_from_dict(payload: dict) -> CurriculumSchedule:
+    if payload["kind"] == "constant":
+        return ConstantSchedule(hard_fraction=payload["max_hard_fraction"])
+    return CurriculumSchedule(
+        max_hard_fraction=payload["max_hard_fraction"],
+        warmup_epochs=payload["warmup_epochs"],
+    )
+
+
+def _model_config_to_dict(config: ModelConfig) -> dict:
+    payload = asdict(config)
+    if config.metapaths is not None:
+        payload["metapaths"] = [list(mp.node_types) for mp in config.metapaths]
+    return payload
+
+
+def _model_config_from_dict(payload: dict) -> ModelConfig:
+    payload = dict(payload)
+    if payload.get("metapaths") is not None:
+        payload["metapaths"] = [Metapath(tuple(types)) for types in payload["metapaths"]]
+    return ModelConfig(**payload)
+
+
+def _train_config_to_dict(config: TrainConfig) -> dict:
+    payload = asdict(config)
+    payload["curriculum"] = _schedule_to_dict(config.curriculum)
+    return payload
+
+
+def _train_config_from_dict(payload: dict) -> TrainConfig:
+    payload = dict(payload)
+    payload["curriculum"] = _schedule_from_dict(payload["curriculum"])
+    return TrainConfig(**payload)
+
+
+def save_pipeline(pipeline: EDPipeline, directory: str) -> None:
+    """Write a pipeline checkpoint (weights + configs + KB) to a directory."""
+    os.makedirs(directory, exist_ok=True)
+    save_graph(pipeline.kb, os.path.join(directory, "kb.json"))
+
+    config = {
+        "format_version": _FORMAT_VERSION,
+        "model": _model_config_to_dict(pipeline.model_config),
+        "train": _train_config_to_dict(pipeline.train_config),
+        "augment_query_graphs": pipeline.augment,
+        "fuzzy_candidates": pipeline.fuzzy_candidates,
+        "embedder": {
+            "dim": pipeline.embedder.dim,
+            "ngram_range": list(pipeline.embedder.ngram_range),
+            "use_words": pipeline.embedder.use_words,
+            "seed": pipeline.embedder.seed,
+        },
+    }
+    with open(os.path.join(directory, "config.json"), "w", encoding="utf-8") as fh:
+        json.dump(config, fh, indent=2)
+
+    from ..autograd.serialization import save_state
+
+    save_state(pipeline.model, os.path.join(directory, "weights.npz"))
+
+
+def load_pipeline(directory: str) -> EDPipeline:
+    """Rebuild a pipeline from a checkpoint directory.
+
+    Raises ``FileNotFoundError`` when any checkpoint file is missing and
+    ``ValueError`` on an unknown format version.
+    """
+    for name in CHECKPOINT_FILES:
+        if not os.path.exists(os.path.join(directory, name)):
+            raise FileNotFoundError(f"checkpoint file missing: {name} in {directory}")
+    with open(os.path.join(directory, "config.json"), encoding="utf-8") as fh:
+        config = json.load(fh)
+    version = config.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} (expected {_FORMAT_VERSION})"
+        )
+
+    kb = load_graph(os.path.join(directory, "kb.json"))
+    embedder_cfg = config["embedder"]
+    embedder = HashingNgramEmbedder(
+        dim=embedder_cfg["dim"],
+        ngram_range=tuple(embedder_cfg["ngram_range"]),
+        use_words=embedder_cfg["use_words"],
+        seed=embedder_cfg["seed"],
+    )
+    pipeline = EDPipeline(
+        kb,
+        model_config=_model_config_from_dict(config["model"]),
+        train_config=_train_config_from_dict(config["train"]),
+        augment_query_graphs=config["augment_query_graphs"],
+        embedder=embedder,
+        fuzzy_candidates=config.get("fuzzy_candidates", False),
+    )
+
+    from ..autograd.serialization import load_state
+
+    load_state(pipeline.model, os.path.join(directory, "weights.npz"))
+    return pipeline

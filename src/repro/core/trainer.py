@@ -1,0 +1,290 @@
+"""Training loop for ED-GNN (Section 2.2 "Model Training" + Section 4.2).
+
+Defaults mirror the paper: Adam with learning rate 1e-3 and weight decay
+1e-3, dropout 0.5, 100 epochs with early stopping at patience 30, and
+Eq. 5's negative-sampling cross entropy.
+
+The Siamese structure is realised by two forward passes through the same
+encoder per epoch: one over ``G_ref`` (compiled once), one over the
+disjoint union of all training query graphs (batched and compiled once —
+the query graphs are fixed, only the parameters move).  Validation/test
+pairs follow the Section 4.1 protocol: each positive (mention, gold) pair
+is accompanied by hard negative pairs from the semantic sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, clip_grad_norm, no_grad
+from ..eval.metrics import PRF, classify_logits, precision_recall_f1
+from ..graph.batch import batch_graphs
+from ..graph.hetero import HeteroGraph
+from .model import EDGNN
+from .negative_sampling import CurriculumSchedule, EvaluationProtocol, NegativeSampler
+from .query_graph import QueryGraph
+
+
+@dataclass
+class TrainConfig:
+    """Section 4.2 defaults."""
+
+    epochs: int = 100
+    patience: int = 30
+    lr: float = 1e-3
+    weight_decay: float = 1e-3
+    negatives_per_positive: int = 4
+    eval_negatives: int = 1  # "the same number of negative node pairs"
+    grad_clip: float = 5.0
+    threshold: float = 0.5
+    use_hard_negatives: bool = True
+    curriculum: CurriculumSchedule = field(default_factory=CurriculumSchedule)
+    #: ``sim_st`` metric for hard-negative ranking — "star_ged" (paper),
+    #: "mcs", "wl", "hungarian_ged" or "jaccard" (Section 3.2 survey).
+    structural_metric: str = "star_ged"
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class PairRecord:
+    """One evaluated pair with the metadata error analysis needs."""
+
+    query_graph: QueryGraph
+    ref_entity: int
+    label: int
+    logit: float = 0.0
+    prediction: bool = False
+
+
+@dataclass
+class SplitPack:
+    """A compiled split: union of query graphs + flat evaluation pairs."""
+
+    query_graphs: List[QueryGraph]
+    union: HeteroGraph
+    offsets: List[int]
+    compiled: object
+    features: np.ndarray
+    pairs: List[PairRecord]
+    mention_union_ids: np.ndarray  # per pair
+    ref_ids: np.ndarray  # per pair
+    labels: np.ndarray  # per pair
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    train_loss: float
+    val: PRF
+
+
+@dataclass
+class TrainResult:
+    best_epoch: int
+    best_val: PRF
+    test: PRF
+    history: List[EpochStats]
+    test_records: List[PairRecord]
+
+    @property
+    def convergence_curve(self) -> List[Tuple[int, float]]:
+        """(epoch, validation F1) series — Figure 4(b)."""
+        return [(s.epoch, s.val.f1) for s in self.history]
+
+
+class EDGNNTrainer:
+    """Trains one :class:`EDGNN` on one dataset's query graphs."""
+
+    def __init__(
+        self,
+        model: EDGNN,
+        ref_graph: HeteroGraph,
+        train_graphs: Sequence[QueryGraph],
+        val_graphs: Sequence[QueryGraph],
+        test_graphs: Sequence[QueryGraph],
+        config: Optional[TrainConfig] = None,
+    ):
+        if ref_graph.features is None:
+            raise ValueError("ref_graph needs features (see node_features_for_graph)")
+        self.model = model
+        self.ref_graph = ref_graph
+        self.config = config or TrainConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        self.ref_compiled = model.compile(ref_graph)
+        self.ref_features = ref_graph.features
+
+        # Training-time negative sampler (Eq. 5 / Section 3.2).
+        self.sampler = NegativeSampler(
+            ref_graph,
+            self.rng,
+            initial_embeddings=ref_graph.features,
+            use_hard_negatives=self.config.use_hard_negatives,
+            schedule=self.config.curriculum,
+            structural_metric=self.config.structural_metric,
+        )
+        # Evaluation negatives always follow the fixed Section 4.1
+        # protocol, regardless of the training sampler, so all systems
+        # with the same seed classify identical pairs.
+        self._protocol = EvaluationProtocol(
+            ref_graph, self.config.eval_negatives, self.config.seed
+        )
+
+        self.train_pack = self._pack(list(train_graphs), with_eval_pairs=False)
+        self.val_pack = self._pack(list(val_graphs), with_eval_pairs=True)
+        self.test_pack = self._pack(list(test_graphs), with_eval_pairs=True)
+
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+
+    # ------------------------------------------------------------------
+    def _pack(self, graphs: List[QueryGraph], with_eval_pairs: bool) -> SplitPack:
+        if not graphs:
+            raise ValueError("split has no query graphs")
+        union, offsets = batch_graphs([qg.graph for qg in graphs])
+        compiled = self.model.compile(union)
+        features = union.features
+        assert features is not None
+
+        pairs: List[PairRecord] = []
+        if with_eval_pairs:
+            for i, qg in enumerate(graphs):
+                if qg.gold_entity is None:
+                    raise ValueError("evaluation query graph lacks a gold entity")
+                pairs.append(PairRecord(qg, qg.gold_entity, 1))
+                for neg in self._protocol.negatives(qg.gold_entity):
+                    pairs.append(PairRecord(qg, int(neg), 0))
+
+        mention_ids: List[int] = []
+        ref_ids: List[int] = []
+        labels: List[int] = []
+        if with_eval_pairs:
+            index_of = {id(qg): i for i, qg in enumerate(graphs)}
+            for record in pairs:
+                g_idx = index_of[id(record.query_graph)]
+                mention_ids.append(offsets[g_idx] + record.query_graph.mention_node)
+                ref_ids.append(record.ref_entity)
+                labels.append(record.label)
+
+        return SplitPack(
+            query_graphs=graphs,
+            union=union,
+            offsets=offsets,
+            compiled=compiled,
+            features=features,
+            pairs=pairs,
+            mention_union_ids=np.asarray(mention_ids, dtype=np.int64),
+            ref_ids=np.asarray(ref_ids, dtype=np.int64),
+            labels=np.asarray(labels, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _training_pairs(self, epoch: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(mention union ids, ref ids, labels) for one epoch, with fresh
+        negatives per Eq. 5."""
+        pack = self.train_pack
+        k = self.config.negatives_per_positive
+        mention_ids: List[int] = []
+        ref_ids: List[int] = []
+        labels: List[int] = []
+        for i, qg in enumerate(pack.query_graphs):
+            if qg.gold_entity is None:
+                continue
+            mention = pack.offsets[i] + qg.mention_node
+            mention_ids.append(mention)
+            ref_ids.append(qg.gold_entity)
+            labels.append(1)
+            for neg in self.sampler.sample(qg.gold_entity, k, epoch):
+                mention_ids.append(mention)
+                ref_ids.append(int(neg))
+                labels.append(0)
+        return (
+            np.asarray(mention_ids, dtype=np.int64),
+            np.asarray(ref_ids, dtype=np.int64),
+            np.asarray(labels, dtype=np.float32),
+        )
+
+    def train_epoch(self, epoch: int) -> float:
+        self.model.train()
+        self.optimizer.zero_grad()
+        x_ref = Tensor(self.ref_features)
+        x_qry = Tensor(self.train_pack.features)
+        h_ref = self.model.embed(self.ref_compiled, x_ref)
+        h_qry = self.model.embed(self.train_pack.compiled, x_qry)
+        mention_ids, ref_ids, labels = self._training_pairs(epoch)
+        logits = self.model.score_pairs(
+            h_qry, mention_ids, h_ref, ref_ids, x_query=x_qry, x_ref=x_ref
+        )
+        loss = self.model.pair_loss(
+            logits, labels, pos_weight=float(self.config.negatives_per_positive)
+        )
+        loss.backward()
+        clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+        self.optimizer.step()
+        return float(loss.item())
+
+    def evaluate(self, pack: SplitPack, record: bool = False) -> Tuple[PRF, List[PairRecord]]:
+        self.model.eval()
+        with no_grad():
+            x_ref = Tensor(self.ref_features)
+            x_qry = Tensor(pack.features)
+            h_ref = self.model.embed(self.ref_compiled, x_ref)
+            h_qry = self.model.embed(pack.compiled, x_qry)
+            logits = self.model.score_pairs(
+                h_qry,
+                pack.mention_union_ids,
+                h_ref,
+                pack.ref_ids,
+                x_query=x_qry,
+                x_ref=x_ref,
+            ).data
+        predictions = classify_logits(logits, self.config.threshold)
+        prf = precision_recall_f1(pack.labels.astype(bool), predictions)
+        records: List[PairRecord] = []
+        if record:
+            for pair, logit, pred in zip(pack.pairs, logits.tolist(), predictions.tolist()):
+                pair.logit = float(logit)
+                pair.prediction = bool(pred)
+                records.append(pair)
+        return prf, records
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainResult:
+        best_val = PRF(0.0, 0.0, 0.0)
+        best_epoch = -1
+        best_state = self.model.state_dict()
+        history: List[EpochStats] = []
+        stale = 0
+
+        for epoch in range(self.config.epochs):
+            loss = self.train_epoch(epoch)
+            val, _ = self.evaluate(self.val_pack)
+            history.append(EpochStats(epoch, loss, val))
+            if self.config.verbose:
+                print(f"epoch {epoch:3d} loss {loss:.4f} val {val}")
+            if val.f1 > best_val.f1:
+                best_val = val
+                best_epoch = epoch
+                best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.config.patience:
+                    break
+
+        self.model.load_state_dict(best_state)
+        test, records = self.evaluate(self.test_pack, record=True)
+        return TrainResult(
+            best_epoch=best_epoch,
+            best_val=best_val,
+            test=test,
+            history=history,
+            test_records=records,
+        )

@@ -1,0 +1,46 @@
+"""Synthetic stand-ins for the five evaluation datasets of Section 4.1
+(see DESIGN.md §2 for the substitution rationale).
+"""
+
+from .registry import (  # noqa: F401
+    DATASET_NAMES,
+    PROFILES,
+    SPLIT_COUNTS,
+    biocdr_schema,
+    default_scale,
+    load_dataset,
+    mdx_schema,
+    mimic_schema,
+    ncbi_schema,
+    share_schema,
+)
+from .synthesis import (  # noqa: F401
+    DatasetProfile,
+    EDDataset,
+    compose_snippet_text,
+    synthesize_dataset,
+    synthesize_kb,
+    synthesize_snippets,
+)
+from .vocabulary import NameFactory, synonyms_for  # noqa: F401
+
+__all__ = [
+    "DatasetProfile",
+    "EDDataset",
+    "synthesize_dataset",
+    "synthesize_kb",
+    "synthesize_snippets",
+    "compose_snippet_text",
+    "NameFactory",
+    "synonyms_for",
+    "load_dataset",
+    "default_scale",
+    "DATASET_NAMES",
+    "PROFILES",
+    "SPLIT_COUNTS",
+    "mdx_schema",
+    "mimic_schema",
+    "ncbi_schema",
+    "share_schema",
+    "biocdr_schema",
+]

@@ -1,0 +1,276 @@
+"""The five evaluation datasets (Section 4.1, Table 2) as synthetic
+profiles.
+
+Table 2 reference statistics:
+
+=========  =======  =======
+Dataset    # Nodes  # Edges
+=========  =======  =======
+MDX         35,028   74,621
+MIMIC-III   22,642  284,542
+NCBI           753    1,845
+ShARe        1,719   12,731
+Bio CDR      1,082    2,857
+=========  =======  =======
+
+Profiles encode each dataset's character as the paper describes it:
+MDX — large curated drug KB with rich types and heavy editorial
+abbreviation; MIMIC-III — dense clinical records with short snippets;
+NCBI — small disease corpus, simple graph; ShARe — clinical notes with
+disorder mentions, dense for its size; Bio CDR — chemical-disease
+relations, simple and clean.
+
+``load_dataset`` honours ``REPRO_SCALE`` (default 0.08) so the pure-numpy
+training budget stays tractable; ``scale=1.0`` regenerates the full
+Table 2 sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.schema import GraphSchema, Relation, extended_medical_schema
+from ..text.variants import VariantKind
+from .synthesis import DatasetProfile, EDDataset, synthesize_dataset
+
+DEFAULT_SCALE_ENV = "REPRO_SCALE"
+DEFAULT_SCALE = 0.08
+
+
+# ---------------------------------------------------------------------------
+# Per-dataset schemas
+# ---------------------------------------------------------------------------
+def mdx_schema() -> GraphSchema:
+    return extended_medical_schema()
+
+
+def mimic_schema() -> GraphSchema:
+    node_types = ["Disease", "Drug", "Symptom", "LabTest", "Procedure", "Finding"]
+    relations = [
+        Relation("TREAT", "Drug", "Disease"),
+        Relation("CAUSE", "Drug", "Finding"),
+        Relation("PRESENTS", "Disease", "Symptom"),
+        Relation("INDICATE", "LabTest", "Disease"),
+        Relation("MEASURES", "LabTest", "Finding"),
+        Relation("UNDERGOES", "Disease", "Procedure"),
+        Relation("REVEALS", "Procedure", "Finding"),
+        Relation("COMPLICATES", "Disease", "Disease"),
+    ]
+    return GraphSchema(node_types, relations)
+
+
+def ncbi_schema() -> GraphSchema:
+    node_types = ["Disease", "Finding", "Symptom"]
+    relations = [
+        Relation("HAS", "Disease", "Finding"),
+        Relation("PRESENTS", "Disease", "Symptom"),
+        Relation("COMPLICATES", "Disease", "Disease"),
+    ]
+    return GraphSchema(node_types, relations)
+
+
+def share_schema() -> GraphSchema:
+    node_types = ["Disorder", "Finding", "Procedure", "AnatomicalSite"]
+    relations = [
+        Relation("HAS", "Disorder", "Finding"),
+        Relation("LOCATED_IN", "Disorder", "AnatomicalSite"),
+        Relation("DIAGNOSED_BY", "Disorder", "Procedure"),
+        Relation("INVOLVES", "Procedure", "AnatomicalSite"),
+    ]
+    return GraphSchema(node_types, relations)
+
+
+def biocdr_schema() -> GraphSchema:
+    node_types = ["Chemical", "Disease", "Finding"]
+    relations = [
+        Relation("CAUSE", "Chemical", "Disease"),
+        Relation("TREAT", "Chemical", "Disease"),
+        Relation("HAS", "Disease", "Finding"),
+    ]
+    return GraphSchema(node_types, relations)
+
+
+# ---------------------------------------------------------------------------
+# Profiles (Table 2 sizes at scale 1.0)
+# ---------------------------------------------------------------------------
+PROFILES: Dict[str, DatasetProfile] = {
+    "MDX": DatasetProfile(
+        name="MDX",
+        schema_factory=mdx_schema,
+        num_nodes=35_028,
+        num_edges=74_621,
+        num_snippets=600,
+        type_mix={
+            "Drug": 0.22,
+            "Disease": 0.20,
+            "AdverseEffect": 0.14,
+            "Symptom": 0.12,
+            "Finding": 0.18,
+            "Procedure": 0.07,
+            "LabTest": 0.07,
+        },
+        context_mentions_mean=3.5,
+        context_mentions_min=1,
+        ambiguous_kinds={
+            VariantKind.ACRONYM: 0.45,
+            VariantKind.SYNONYM: 0.15,
+            VariantKind.ABBREVIATION: 0.15,
+            VariantKind.TYPO: 0.10,
+            VariantKind.SIMPLIFICATION: 0.15,
+        },
+        alias_rate=0.35,
+        hub_exponent=0.8,
+        sibling_rate=0.25,
+        seed=11,
+    ),
+    "MIMIC-III": DatasetProfile(
+        name="MIMIC-III",
+        schema_factory=mimic_schema,
+        num_nodes=22_642,
+        num_edges=284_542,
+        num_snippets=600,
+        type_mix={
+            "Disease": 0.30,
+            "Drug": 0.20,
+            "Symptom": 0.15,
+            "LabTest": 0.12,
+            "Procedure": 0.08,
+            "Finding": 0.15,
+        },
+        context_mentions_mean=1.6,  # short clinical snippets
+        context_mentions_min=1,
+        ambiguous_kinds={
+            VariantKind.ACRONYM: 0.45,
+            VariantKind.SYNONYM: 0.10,
+            VariantKind.ABBREVIATION: 0.20,
+            VariantKind.TYPO: 0.15,
+            VariantKind.SIMPLIFICATION: 0.10,
+        },
+        alias_rate=0.25,
+        hub_exponent=1.1,  # dense hubs
+        sibling_rate=0.35,  # many highly similar nodes
+        seed=13,
+    ),
+    "NCBI": DatasetProfile(
+        name="NCBI",
+        schema_factory=ncbi_schema,
+        num_nodes=753,
+        num_edges=1_845,
+        num_snippets=700,
+        type_mix={"Disease": 0.60, "Finding": 0.25, "Symptom": 0.15},
+        context_mentions_mean=3.0,
+        context_mentions_min=1,
+        ambiguous_kinds={
+            VariantKind.ACRONYM: 0.25,
+            VariantKind.SYNONYM: 0.30,
+            VariantKind.ABBREVIATION: 0.15,
+            VariantKind.TYPO: 0.15,
+            VariantKind.SIMPLIFICATION: 0.15,
+        },
+        alias_rate=0.40,
+        hub_exponent=0.7,
+        sibling_rate=0.25,
+        seed=17,
+    ),
+    "ShARe": DatasetProfile(
+        name="ShARe",
+        schema_factory=share_schema,
+        num_nodes=1_719,
+        num_edges=12_731,
+        num_snippets=433,
+        type_mix={
+            "Disorder": 0.50,
+            "Finding": 0.25,
+            "Procedure": 0.15,
+            "AnatomicalSite": 0.10,
+        },
+        context_mentions_mean=2.5,
+        context_mentions_min=1,
+        ambiguous_kinds={
+            VariantKind.ACRONYM: 0.40,
+            VariantKind.SYNONYM: 0.15,
+            VariantKind.ABBREVIATION: 0.20,
+            VariantKind.TYPO: 0.10,
+            VariantKind.SIMPLIFICATION: 0.15,
+        },
+        alias_rate=0.30,
+        hub_exponent=1.0,
+        sibling_rate=0.20,
+        seed=19,
+    ),
+    "BioCDR": DatasetProfile(
+        name="BioCDR",
+        schema_factory=biocdr_schema,
+        num_nodes=1_082,
+        num_edges=2_857,
+        num_snippets=1_500,
+        type_mix={"Chemical": 0.40, "Disease": 0.40, "Finding": 0.20},
+        context_mentions_mean=3.0,
+        context_mentions_min=1,
+        ambiguous_kinds={
+            VariantKind.ACRONYM: 0.30,
+            VariantKind.SYNONYM: 0.25,
+            VariantKind.ABBREVIATION: 0.15,
+            VariantKind.TYPO: 0.15,
+            VariantKind.SIMPLIFICATION: 0.15,
+        },
+        alias_rate=0.35,
+        hub_exponent=0.7,
+        sibling_rate=0.12,
+        seed=23,
+    ),
+}
+
+DATASET_NAMES: List[str] = list(PROFILES)
+
+#: per-dataset fixed split counts (Section 4.1); None = 70/15/15
+SPLIT_COUNTS: Dict[str, Optional[Tuple[int, int, int]]] = {
+    "MDX": None,
+    "MIMIC-III": None,
+    "NCBI": (500, 100, 100),
+    "ShARe": None,
+    "BioCDR": (800, 200, 500),
+}
+
+#: minimum scale applied when the caller does not pin one explicitly —
+#: the three small KBs are cheap enough to run near full size, which
+#: keeps their evaluation stable.
+SCALE_FLOORS: Dict[str, float] = {
+    "MDX": 0.0,
+    "MIMIC-III": 0.0,
+    "NCBI": 0.5,
+    "ShARe": 0.4,
+    "BioCDR": 0.3,
+}
+
+_CACHE: Dict[Tuple[str, float], EDDataset] = {}
+
+
+def default_scale() -> float:
+    value = os.environ.get(DEFAULT_SCALE_ENV)
+    if value is None:
+        return DEFAULT_SCALE
+    scale = float(value)
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"{DEFAULT_SCALE_ENV} must be in (0, 1], got {scale}")
+    return scale
+
+
+def load_dataset(name: str, scale: Optional[float] = None, use_cache: bool = True) -> EDDataset:
+    """Synthesise (or fetch cached) one of the five evaluation datasets."""
+    if name not in PROFILES:
+        raise KeyError(f"unknown dataset {name!r}; options: {DATASET_NAMES}")
+    if scale is None:
+        scale = min(max(default_scale(), SCALE_FLOORS[name]), 1.0)
+    key = (name, scale)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    profile = PROFILES[name]
+    split_counts = SPLIT_COUNTS[name]
+    if split_counts is not None and scale != 1.0:
+        split_counts = tuple(max(int(c * scale), 10) for c in split_counts)
+    dataset = synthesize_dataset(profile, scale=scale, split_counts=split_counts)
+    if use_cache:
+        _CACHE[key] = dataset
+    return dataset

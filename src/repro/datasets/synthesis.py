@@ -1,0 +1,434 @@
+"""Synthetic medical KB + snippet-corpus synthesiser.
+
+Stands in for the five evaluation datasets (Section 4.1, Table 2), which
+are proprietary (MDX), credentialed (MIMIC-III, ShARe) or licensed
+corpora.  Each profile controls the properties that drive the paper's
+results (see DESIGN.md §2):
+
+* KB size and density matched to Table 2 (scaled by ``scale``),
+* node-type mix and schema richness (graph "complexity"),
+* hub skew and *sibling* entities that share neighbours (the "highly
+  similar nodes" of Section 4.5 and the hard structural negatives of
+  Section 3.2),
+* snippet context length (short snippets -> "insufficient structure"),
+* the discrepancy-class mix of the ambiguous mentions (acronym
+  collisions, synonyms, abbreviations, typos, simplifications).
+
+Everything is seeded: the same profile + scale always yields the same
+dataset, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from ..graph.index import InvertedIndex, derive_acronym, normalize_surface
+from ..graph.schema import GraphSchema
+from ..text.corpus import MentionAnnotation, Snippet, mint_cui
+from ..text.variants import VariantKind, generate_variant
+from .vocabulary import NameFactory, synonyms_for
+
+
+@dataclass
+class DatasetProfile:
+    """Declarative description of one synthetic dataset."""
+
+    name: str
+    schema_factory: Callable[[], GraphSchema]
+    num_nodes: int
+    num_edges: int
+    num_snippets: int
+    type_mix: Dict[str, float]
+    context_mentions_mean: float = 3.0
+    context_mentions_min: int = 1
+    ambiguous_kinds: Dict[VariantKind, float] = field(
+        default_factory=lambda: {
+            VariantKind.ACRONYM: 0.4,
+            VariantKind.SYNONYM: 0.2,
+            VariantKind.ABBREVIATION: 0.15,
+            VariantKind.TYPO: 0.1,
+            VariantKind.SIMPLIFICATION: 0.15,
+        }
+    )
+    alias_rate: float = 0.3
+    hub_exponent: float = 0.8
+    sibling_rate: float = 0.2
+    sibling_edge_fraction: float = 0.65
+    seed: int = 7
+
+    def scaled(self, scale: float) -> "DatasetProfile":
+        """Proportionally shrink/grow the dataset (keeps density)."""
+        if scale == 1.0:
+            return self
+        return DatasetProfile(
+            name=self.name,
+            schema_factory=self.schema_factory,
+            num_nodes=max(int(self.num_nodes * scale), 120),
+            num_edges=max(int(self.num_edges * scale), 240),
+            # Snippets shrink much more slowly than the KB: evaluation
+            # needs enough test pairs to keep P/R/F1 stable.
+            num_snippets=min(self.num_snippets, max(int(self.num_snippets * scale), 300)),
+            type_mix=dict(self.type_mix),
+            context_mentions_mean=self.context_mentions_mean,
+            context_mentions_min=self.context_mentions_min,
+            ambiguous_kinds=dict(self.ambiguous_kinds),
+            alias_rate=self.alias_rate,
+            hub_exponent=self.hub_exponent,
+            sibling_rate=self.sibling_rate,
+            sibling_edge_fraction=self.sibling_edge_fraction,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class EDDataset:
+    """One synthesised dataset: KB, snippets, and split indices."""
+
+    name: str
+    kb: HeteroGraph
+    snippets: List[Snippet]
+    train_indices: List[int]
+    val_indices: List[int]
+    test_indices: List[int]
+    profile: DatasetProfile
+
+    @property
+    def train(self) -> List[Snippet]:
+        return [self.snippets[i] for i in self.train_indices]
+
+    @property
+    def val(self) -> List[Snippet]:
+        return [self.snippets[i] for i in self.val_indices]
+
+    @property
+    def test(self) -> List[Snippet]:
+        return [self.snippets[i] for i in self.test_indices]
+
+    def stats(self) -> Dict[str, int]:
+        """Table 2's row for this dataset."""
+        return {
+            "nodes": self.kb.num_nodes,
+            "edges": self.kb.num_edges,
+            "snippets": len(self.snippets),
+        }
+
+
+# ---------------------------------------------------------------------------
+# KB synthesis
+# ---------------------------------------------------------------------------
+def _allocate_counts(total: int, mix: Dict[str, float]) -> Dict[str, int]:
+    weights = np.asarray(list(mix.values()), dtype=np.float64)
+    weights /= weights.sum()
+    counts = np.floor(weights * total).astype(int)
+    counts[0] += total - int(counts.sum())  # give rounding remainder to the first type
+    return {t: int(c) for t, c in zip(mix, counts)}
+
+
+def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def synthesize_kb(profile: DatasetProfile, rng: np.random.Generator) -> HeteroGraph:
+    """Generate the KB graph for a profile."""
+    schema = profile.schema_factory()
+    graph = HeteroGraph(schema)
+    factory = NameFactory(rng)
+
+    counts = _allocate_counts(profile.num_nodes, profile.type_mix)
+    nodes_by_type: Dict[str, List[int]] = {}
+    for type_name, count in counts.items():
+        names = factory.names_for_type(type_name, count)
+        ids: List[int] = []
+        for name in names:
+            aliases = synonyms_for(name) if rng.random() < profile.alias_rate else ()
+            ids.append(graph.add_node(type_name, name, aliases=aliases))
+        nodes_by_type[type_name] = ids
+
+    # --- edges: budget per relation ~ sqrt(|src| * |dst|) ----------------
+    relations = list(schema.relations)
+    rel_weights = np.asarray(
+        [
+            np.sqrt(
+                max(len(nodes_by_type.get(r.src_type, ())), 1)
+                * max(len(nodes_by_type.get(r.dst_type, ())), 1)
+            )
+            for r in relations
+        ],
+        dtype=np.float64,
+    )
+    rel_weights /= rel_weights.sum()
+    budgets = np.floor(rel_weights * profile.num_edges).astype(int)
+    budgets[int(np.argmax(budgets))] += profile.num_edges - int(budgets.sum())
+
+    seen: set = set()
+    for rel_id, (relation, budget) in enumerate(zip(relations, budgets)):
+        src_pool = nodes_by_type.get(relation.src_type, [])
+        dst_pool = nodes_by_type.get(relation.dst_type, [])
+        if not src_pool or not dst_pool or budget <= 0:
+            continue
+        src_pool = np.asarray(src_pool)
+        dst_pool = np.asarray(dst_pool)
+        p_src = _zipf_probabilities(len(src_pool), profile.hub_exponent)
+        p_dst = _zipf_probabilities(len(dst_pool), profile.hub_exponent)
+        added = 0
+        attempts = 0
+        max_attempts = budget * 20
+        while added < budget and attempts < max_attempts:
+            remaining = budget - added
+            batch = max(remaining * 2, 64)
+            src = rng.choice(src_pool, size=batch, p=p_src)
+            dst = rng.choice(dst_pool, size=batch, p=p_dst)
+            for s, d in zip(src.tolist(), dst.tolist()):
+                attempts += 1
+                if s == d or (s, d, rel_id) in seen:
+                    continue
+                seen.add((s, d, rel_id))
+                graph.add_edge(s, d, rel_id)
+                added += 1
+                if added >= budget:
+                    break
+
+    _add_sibling_structure(graph, nodes_by_type, profile, rng, seen)
+    return graph
+
+
+def _name_stem(name: str) -> str:
+    """Stem for sibling grouping: the name minus its first word ("acute
+    renal failure" and "chronic renal failure" share "renal failure")."""
+    words = normalize_surface(name).split()
+    return " ".join(words[1:]) if len(words) >= 3 else ""
+
+
+def _add_sibling_structure(
+    graph: HeteroGraph,
+    nodes_by_type: Dict[str, List[int]],
+    profile: DatasetProfile,
+    rng: np.random.Generator,
+    seen: set,
+) -> None:
+    """Copy a fraction of edges between confusable entities so they also
+    share neighbours (hard structural negatives / the "highly similar
+    nodes" error class).
+
+    Two grouping keys produce confusable pairs:
+
+    * name stems — "acute renal failure" / "chronic renal failure";
+    * acronyms — "acute renal failure" / "acute respiratory failure"
+      (both "ARF"; in real medical KBs both expansions sit in heavily
+      overlapping clinical contexts, so sharing neighbours is realistic
+      and is precisely what makes the paper's ARF example hard).
+    """
+    if profile.sibling_rate <= 0:
+        return
+    from ..graph.index import derive_acronym
+
+    stems: Dict[Tuple[str, str, str], List[int]] = {}
+    for type_name, ids in nodes_by_type.items():
+        for node in ids:
+            stem = _name_stem(graph.node_name(node))
+            if stem:
+                stems.setdefault(("stem", type_name, stem), []).append(node)
+            acronym = derive_acronym(graph.node_name(node))
+            if acronym:
+                stems.setdefault(("acro", type_name, acronym), []).append(node)
+
+    groups = [sorted(set(g)) for g in stems.values() if len(set(g)) >= 2]
+    rng.shuffle(groups)
+    target_groups = int(len(groups) * profile.sibling_rate)
+    for group in groups[:target_groups]:
+        a, b = group[0], group[1]
+        # Copy a fraction of a's edges onto b (both directions).
+        src, dst, et = graph.edges()
+        out_mask = src == a
+        in_mask = dst == a
+        for s, d, r in zip(src[out_mask].tolist(), dst[out_mask].tolist(), et[out_mask].tolist()):
+            if rng.random() < profile.sibling_edge_fraction and (b, d, r) not in seen and b != d:
+                seen.add((b, d, r))
+                graph.add_edge(b, d, r)
+        for s, d, r in zip(src[in_mask].tolist(), dst[in_mask].tolist(), et[in_mask].tolist()):
+            if rng.random() < profile.sibling_edge_fraction and (s, b, r) not in seen and s != b:
+                seen.add((s, b, r))
+                graph.add_edge(s, b, r)
+
+
+# ---------------------------------------------------------------------------
+# Snippet synthesis
+# ---------------------------------------------------------------------------
+_TEMPLATES = [
+    ("The patient presented with ", ", ", " and ", "."),
+    ("Clinical notes report ", ", ", " as well as ", "."),
+    ("Treatment records mention ", ", ", " along with ", "."),
+    ("Follow-up revealed ", ", ", " accompanied by ", "."),
+    ("Examination documented ", ", ", " together with ", "."),
+]
+
+
+def compose_snippet_text(
+    surfaces: Sequence[str], rng: np.random.Generator
+) -> Tuple[str, List[Tuple[int, int]]]:
+    """Render mention surfaces into a sentence, returning exact character
+    spans per surface (in input order)."""
+    prefix, comma, conjunction, suffix = _TEMPLATES[int(rng.integers(0, len(_TEMPLATES)))]
+    spans: List[Tuple[int, int]] = []
+    text = prefix
+    for i, surface in enumerate(surfaces):
+        if i > 0:
+            text += conjunction if i == len(surfaces) - 1 else comma
+        start = len(text)
+        text += surface
+        spans.append((start, start + len(surface)))
+    text += suffix
+    return text, spans
+
+
+def _sample_kind(kinds: Dict[VariantKind, float], rng: np.random.Generator) -> VariantKind:
+    names = list(kinds)
+    probs = np.asarray([kinds[k] for k in names], dtype=np.float64)
+    probs /= probs.sum()
+    return names[int(rng.choice(len(names), p=probs))]
+
+
+def synthesize_snippets(
+    kb: HeteroGraph,
+    profile: DatasetProfile,
+    rng: np.random.Generator,
+) -> List[Snippet]:
+    """Generate the snippet corpus over a synthesised KB.
+
+    Each snippet carries one ambiguous mention (a corrupted surface of a
+    gold entity) plus context mentions drawn from the gold entity's KB
+    neighbourhood — the structural signal ED-GNN exploits.
+    """
+    index = InvertedIndex(kb)
+
+    # Acronym families: surfaces resolvable to >= 2 entities.
+    families: List[Tuple[str, List[int]]] = []
+    by_acronym: Dict[str, List[int]] = {}
+    for node in range(kb.num_nodes):
+        acronym = derive_acronym(kb.node_name(node))
+        if acronym:
+            by_acronym.setdefault(acronym, []).append(node)
+    for acronym, members in sorted(by_acronym.items()):
+        eligible = [m for m in members if kb.degree(m) >= profile.context_mentions_min]
+        if len(eligible) >= 2:
+            families.append((acronym.upper(), eligible))
+
+    linkable = [v for v in range(kb.num_nodes) if kb.degree(v) >= 1]
+    if not linkable:
+        raise ValueError("KB has no connected nodes; cannot build snippets")
+
+    snippets: List[Snippet] = []
+    guard = 0
+    while len(snippets) < profile.num_snippets:
+        guard += 1
+        if guard > profile.num_snippets * 50:
+            raise RuntimeError("snippet synthesis failed to converge; check profile")
+        kind = _sample_kind(profile.ambiguous_kinds, rng)
+
+        if kind == VariantKind.ACRONYM and families:
+            surface, members = families[int(rng.integers(0, len(families)))]
+            gold = int(members[int(rng.integers(0, len(members)))])
+            mention_surface = surface
+        else:
+            gold = int(linkable[int(rng.integers(0, len(linkable)))])
+            mention_surface = generate_variant(
+                kb.node_name(gold), kind, rng, synonyms=kb.node_aliases(gold)
+            )
+            if mention_surface is None:
+                mention_surface = generate_variant(kb.node_name(gold), VariantKind.TYPO, rng)
+            if mention_surface is None:
+                continue
+
+        neighbors = kb.neighbors(gold)
+        if len(neighbors) < profile.context_mentions_min:
+            continue
+        want = max(profile.context_mentions_min, int(rng.poisson(profile.context_mentions_mean)))
+        take = min(want, len(neighbors))
+        context = rng.choice(neighbors, size=take, replace=False).astype(int).tolist()
+
+        # Context surfaces: mostly canonical, sometimes a stored alias.
+        context_surfaces: List[str] = []
+        for c in context:
+            aliases = kb.node_aliases(c)
+            if aliases and rng.random() < 0.2:
+                context_surfaces.append(str(rng.choice(list(aliases))))
+            else:
+                context_surfaces.append(kb.node_name(c))
+
+        # Mention order in the sentence: ambiguous mention at a random slot.
+        surfaces = list(context_surfaces)
+        slot = int(rng.integers(0, len(surfaces) + 1))
+        surfaces.insert(slot, mention_surface)
+        node_order: List[Optional[int]] = list(context)
+        node_order.insert(slot, None)  # None marks the ambiguous mention
+
+        text, spans = compose_snippet_text(surfaces, rng)
+        annotations: List[MentionAnnotation] = []
+        for (start, end), surf, node in zip(spans, surfaces, node_order):
+            if node is None:
+                annotations.append(
+                    MentionAnnotation(
+                        surf, start, end, kb.node_type_name(gold), mint_cui(gold)
+                    )
+                )
+            else:
+                annotations.append(
+                    MentionAnnotation(
+                        surf, start, end, kb.node_type_name(node), mint_cui(node)
+                    )
+                )
+        snippets.append(Snippet(text=text, mentions=annotations, ambiguous_index=slot))
+    return snippets
+
+
+def synthesize_dataset(
+    profile: DatasetProfile,
+    scale: float = 1.0,
+    split: Optional[Tuple[float, float, float]] = None,
+    split_counts: Optional[Tuple[int, int, int]] = None,
+) -> EDDataset:
+    """Full dataset synthesis: KB + snippets + splits.
+
+    ``split`` gives (train, val, test) fractions (default the paper's
+    70/15/15); ``split_counts`` pins absolute counts (the paper fixes
+    NCBI at 500/100/100 abstracts).
+    """
+    profile = profile.scaled(scale)
+    rng = np.random.default_rng(profile.seed)
+    kb = synthesize_kb(profile, rng)
+    snippets = synthesize_snippets(kb, profile, rng)
+
+    n = len(snippets)
+    order = rng.permutation(n).tolist()
+    if split_counts is not None:
+        n_train, n_val, n_test = split_counts
+        total = n_train + n_val + n_test
+        if total > n:
+            # Scale the pinned counts down proportionally.
+            ratio = n / total
+            n_train = max(int(n_train * ratio), 1)
+            n_val = max(int(n_val * ratio), 1)
+            n_test = max(n - n_train - n_val, 1)
+    else:
+        fractions = split or (0.70, 0.15, 0.15)
+        n_train = int(n * fractions[0])
+        n_val = int(n * fractions[1])
+        n_test = n - n_train - n_val
+    train = order[:n_train]
+    val = order[n_train : n_train + n_val]
+    test = order[n_train + n_val : n_train + n_val + n_test]
+    return EDDataset(
+        name=profile.name,
+        kb=kb,
+        snippets=snippets,
+        train_indices=train,
+        val_indices=val,
+        test_indices=test,
+        profile=profile,
+    )

@@ -1,0 +1,376 @@
+"""Synthetic medical vocabulary.
+
+Generates entity names with the properties the paper's evaluation hinges
+on (Sections 1, 3.2, 4.1):
+
+* **acronym collisions** — compositional names like "acute renal failure"
+  and "acute respiratory failure" share the acronym "ARF";
+* **lexical near-misses** — "malignant hyperthermia" vs "malignant
+  hyperpyrexia" style pairs arise from shared qualifier+anatomy stems;
+* **synonym aliases** — latinate/plain pairs ("renal"/"kidney",
+  "hepatic"/"liver") yield alias surface forms for the inverted index.
+
+All generation is deterministic given the ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+QUALIFIERS = [
+    "acute",
+    "chronic",
+    "severe",
+    "mild",
+    "recurrent",
+    "progressive",
+    "congenital",
+    "idiopathic",
+    "malignant",
+    "benign",
+    "primary",
+    "secondary",
+]
+
+ANATOMY = [
+    "renal",
+    "respiratory",
+    "hepatic",
+    "cardiac",
+    "pulmonary",
+    "gastric",
+    "cerebral",
+    "dermal",
+    "vascular",
+    "intestinal",
+    "pancreatic",
+    "thyroid",
+    "adrenal",
+    "ocular",
+    "auditory",
+    "skeletal",
+    "muscular",
+    "lymphatic",
+    "urinary",
+    "bronchial",
+    "arterial",
+    "venous",
+    "spinal",
+    "cranial",
+    "esophageal",
+]
+
+CONDITIONS = [
+    "failure",
+    "disease",
+    "insufficiency",
+    "disorder",
+    "inflammation",
+    "carcinoma",
+    "fibrosis",
+    "stenosis",
+    "edema",
+    "necrosis",
+    "hypertrophy",
+    "atrophy",
+    "dysplasia",
+    "neoplasm",
+    "infection",
+    "obstruction",
+    "hemorrhage",
+    "ischemia",
+    "lesion",
+    "syndrome",
+    "dystrophy",
+    "sclerosis",
+    "ulceration",
+    "thrombosis",
+    "infarction",
+    "regurgitation",
+    "hyperplasia",
+    "effusion",
+    "embolism",
+    "rupture",
+]
+
+#: latinate -> plain-English synonym stems (both directions are aliased)
+SYNONYM_STEMS: Dict[str, str] = {
+    "renal": "kidney",
+    "hepatic": "liver",
+    "cardiac": "heart",
+    "pulmonary": "lung",
+    "gastric": "stomach",
+    "cerebral": "brain",
+    "dermal": "skin",
+    "ocular": "eye",
+    "muscular": "muscle",
+    "urinary": "bladder",
+    "disease": "disorder",
+    "failure": "insufficiency",
+    "carcinoma": "cancer",
+    "neoplasm": "tumor",
+    "hemorrhage": "bleeding",
+}
+
+STAGES = ["", " type 1", " type 2", " grade II", " grade III", " stage IV"]
+
+SYMPTOM_BASES = [
+    "nausea",
+    "vomiting",
+    "dizziness",
+    "fatigue",
+    "headache",
+    "fever",
+    "rash",
+    "pruritus",
+    "dyspnea",
+    "cough",
+    "chest pain",
+    "abdominal pain",
+    "joint pain",
+    "back pain",
+    "palpitations",
+    "syncope",
+    "tremor",
+    "seizure",
+    "confusion",
+    "insomnia",
+    "anorexia",
+    "weight loss",
+    "night sweats",
+    "chills",
+    "malaise",
+    "diarrhea",
+    "constipation",
+    "dysphagia",
+    "tinnitus",
+    "vertigo",
+    "blurred vision",
+    "numbness",
+    "weakness",
+    "stiffness",
+    "swelling",
+    "bruising",
+    "jaundice",
+    "pallor",
+    "cyanosis",
+    "edema of the limbs",
+]
+
+FINDING_BASES = [
+    "proteinuria",
+    "hematuria",
+    "nephrotoxicity",
+    "hepatotoxicity",
+    "neutropenia",
+    "thrombocytopenia",
+    "anemia",
+    "leukocytosis",
+    "hyperkalemia",
+    "hyponatremia",
+    "hyperglycemia",
+    "hypoglycemia",
+    "hypercalcemia",
+    "acidosis",
+    "alkalosis",
+    "hypoxemia",
+    "hypertension",
+    "hypotension",
+    "bradycardia",
+    "tachycardia",
+    "arrhythmia",
+    "cardiomegaly",
+    "hepatomegaly",
+    "splenomegaly",
+    "lymphadenopathy",
+    "osteopenia",
+    "hyperbilirubinemia",
+    "azotemia",
+    "ketonuria",
+    "glycosuria",
+]
+
+DRUG_PREFIXES = [
+    "car", "nep", "hep", "gas", "neu", "pul", "dex", "lor", "met", "ami",
+    "cef", "flu", "pra", "ser", "val", "zol", "rib", "tel", "oxa", "lin",
+]
+DRUG_MIDDLES = [
+    "di", "ro", "ta", "vi", "lo", "mi", "na", "pe", "sa", "ti",
+    "be", "cu", "fo", "ge", "ha",
+]
+DRUG_SUFFIXES = [
+    "zol", "pril", "olol", "statin", "mab", "cillin", "mycin", "azole",
+    "idine", "osin", "artan", "gliptin", "parin", "axel", "tinib",
+]
+
+PROCEDURE_BASES = [
+    "biopsy", "resection", "angioplasty", "catheterization", "dialysis",
+    "transplantation", "endoscopy", "bypass", "ablation", "drainage",
+    "laparoscopy", "arthroscopy", "stenting", "intubation", "transfusion",
+]
+
+LAB_BASES = [
+    "serum creatinine", "blood urea nitrogen", "hemoglobin a1c",
+    "liver panel", "lipid panel", "troponin assay", "d-dimer",
+    "prothrombin time", "white cell count", "platelet count",
+    "c-reactive protein", "sedimentation rate", "urinalysis",
+    "arterial blood gas", "electrolyte panel",
+]
+
+
+def synonyms_for(name: str) -> Tuple[str, ...]:
+    """Alias surface forms of a compositional name via synonym stems."""
+    words = name.split()
+    aliases: List[str] = []
+    for i, w in enumerate(words):
+        if w in SYNONYM_STEMS:
+            swapped = list(words)
+            swapped[i] = SYNONYM_STEMS[w]
+            aliases.append(" ".join(swapped))
+    return tuple(aliases)
+
+
+class NameFactory:
+    """Deterministic supplier of unique entity names per node type."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._used: set = set()
+
+    def _claim(self, name: str) -> Optional[str]:
+        if name in self._used:
+            return None
+        self._used.add(name)
+        return name
+
+    # ------------------------------------------------------------------
+    def disease_names(self, count: int) -> List[str]:
+        """Compositional qualifier+anatomy+condition names, systematically
+        enumerated so acronym families occur (same initials)."""
+        names: List[str] = []
+        # Shuffled systematic enumeration keeps determinism and coverage.
+        combos = [
+            (q, a, c)
+            for q in QUALIFIERS
+            for a in ANATOMY
+            for c in CONDITIONS
+        ]
+        self.rng.shuffle(combos)
+        for q, a, c in combos:
+            if len(names) >= count:
+                return names
+            for stage in STAGES:
+                name = self._claim(f"{q} {a} {c}{stage}")
+                if name:
+                    names.append(name)
+                    break
+        # Fallback: two-word combinations.
+        pairs = [(a, c) for a in ANATOMY for c in CONDITIONS]
+        self.rng.shuffle(pairs)
+        for a, c in pairs:
+            if len(names) >= count:
+                return names
+            name = self._claim(f"{a} {c}")
+            if name:
+                names.append(name)
+        raise ValueError(f"vocabulary exhausted at {len(names)} disease names (need {count})")
+
+    def drug_names(self, count: int) -> List[str]:
+        names: List[str] = []
+        combos = [
+            (p, m, s)
+            for p in DRUG_PREFIXES
+            for m in DRUG_MIDDLES
+            for s in DRUG_SUFFIXES
+        ]
+        self.rng.shuffle(combos)
+        for p, m, s in combos:
+            if len(names) >= count:
+                return names
+            name = self._claim(p + m + s)
+            if name:
+                names.append(name)
+        # Double-middle combinations extend capacity ~15x.
+        doubles = [
+            (p, m1, m2, s)
+            for p in DRUG_PREFIXES
+            for m1 in DRUG_MIDDLES
+            for m2 in DRUG_MIDDLES
+            for s in DRUG_SUFFIXES
+            if m1 != m2
+        ]
+        self.rng.shuffle(doubles)
+        for p, m1, m2, s in doubles:
+            if len(names) >= count:
+                return names
+            name = self._claim(p + m1 + m2 + s)
+            if name:
+                names.append(name)
+        raise ValueError(f"vocabulary exhausted at {len(names)} drug names (need {count})")
+
+    def _based_names(self, bases: Sequence[str], count: int, kind: str) -> List[str]:
+        names: List[str] = []
+        for base in bases:
+            if len(names) >= count:
+                return names
+            name = self._claim(base)
+            if name:
+                names.append(name)
+        qualifiers = list(QUALIFIERS)
+        self.rng.shuffle(qualifiers)
+        for q in qualifiers:
+            for base in bases:
+                if len(names) >= count:
+                    return names
+                name = self._claim(f"{q} {base}")
+                if name:
+                    names.append(name)
+        for q in QUALIFIERS:
+            for a in ANATOMY:
+                for base in bases:
+                    if len(names) >= count:
+                        return names
+                    name = self._claim(f"{q} {a} {base}")
+                    if name:
+                        names.append(name)
+        raise ValueError(f"vocabulary exhausted for {kind} (need {count})")
+
+    def symptom_names(self, count: int) -> List[str]:
+        return self._based_names(SYMPTOM_BASES, count, "symptoms")
+
+    def finding_names(self, count: int) -> List[str]:
+        return self._based_names(FINDING_BASES, count, "findings")
+
+    def adverse_effect_names(self, count: int) -> List[str]:
+        merged = SYMPTOM_BASES[::-1] + FINDING_BASES
+        return self._based_names(merged, count, "adverse effects")
+
+    def procedure_names(self, count: int) -> List[str]:
+        bases = [f"{a} {p}" for a in ANATOMY for p in PROCEDURE_BASES]
+        self.rng.shuffle(bases)
+        return self._based_names(bases, count, "procedures")
+
+    def lab_names(self, count: int) -> List[str]:
+        extended = list(LAB_BASES) + [f"{a} panel" for a in ANATOMY]
+        return self._based_names(extended, count, "lab tests")
+
+    def names_for_type(self, type_name: str, count: int) -> List[str]:
+        """Dispatch by canonical node-type name (schemas may rename)."""
+        dispatch = {
+            "Drug": self.drug_names,
+            "Chemical": self.drug_names,
+            "Disease": self.disease_names,
+            "Disorder": self.disease_names,
+            "AdverseEffect": self.adverse_effect_names,
+            "Symptom": self.symptom_names,
+            "Finding": self.finding_names,
+            "Procedure": self.procedure_names,
+            "LabTest": self.lab_names,
+            "AnatomicalSite": self.procedure_names,
+        }
+        try:
+            return dispatch[type_name](count)
+        except KeyError:
+            raise ValueError(f"no vocabulary for node type {type_name!r}") from None

@@ -1,0 +1,98 @@
+"""Evaluation: metrics (Section 4.3), the system-level harness, the error
+analysis of Section 4.5, and table rendering for the benches.
+"""
+
+from .bootstrap import (  # noqa: F401
+    BootstrapResult,
+    ConfidenceInterval,
+    bootstrap_prf,
+    mcnemar_test,
+    paired_permutation_test,
+)
+from .breakdown import (  # noqa: F401
+    OTHER,
+    ClassStats,
+    DiscrepancyBreakdown,
+    discrepancy_breakdown,
+)
+from .linking import LinkingResult, evaluate_linking  # noqa: F401
+
+from .error_analysis import (  # noqa: F401
+    CATEGORIES,
+    GQRY_CONSTRUCTION,
+    HIGHLY_SIMILAR,
+    INSUFFICIENT_STRUCTURE,
+    ErrorBreakdown,
+    analyze_errors,
+    categorize,
+)
+from .metrics import (  # noqa: F401
+    PRF,
+    classify_logits,
+    hits_at_k,
+    mean_prf,
+    mean_reciprocal_rank,
+    precision_recall_f1,
+    prf_from_logits,
+)
+from .reporting import format_table, markdown_table, results_table  # noqa: F401
+
+_EVALUATOR_NAMES = {
+    "ALL_SYSTEMS",
+    "BEST_LAYERS",
+    "BEST_VARIANT",
+    "SystemRun",
+    "default_epochs",
+    "run_best_variant",
+    "run_system",
+}
+
+
+def __getattr__(name: str):
+    # The evaluator pulls in the full pipeline stack; loading it lazily
+    # (PEP 562) breaks the core <-> eval import cycle (core.trainer needs
+    # eval.metrics at import time).
+    if name in _EVALUATOR_NAMES:
+        from . import evaluator
+
+        return getattr(evaluator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PRF",
+    "precision_recall_f1",
+    "prf_from_logits",
+    "classify_logits",
+    "mean_prf",
+    "hits_at_k",
+    "mean_reciprocal_rank",
+    "run_system",
+    "run_best_variant",
+    "SystemRun",
+    "ALL_SYSTEMS",
+    "BEST_VARIANT",
+    "BEST_LAYERS",
+    "default_epochs",
+    "ErrorBreakdown",
+    "analyze_errors",
+    "categorize",
+    "CATEGORIES",
+    "GQRY_CONSTRUCTION",
+    "INSUFFICIENT_STRUCTURE",
+    "HIGHLY_SIMILAR",
+    "format_table",
+    "results_table",
+    "markdown_table",
+    "bootstrap_prf",
+    "BootstrapResult",
+    "ConfidenceInterval",
+    "paired_permutation_test",
+    "mcnemar_test",
+    "discrepancy_breakdown",
+    "DiscrepancyBreakdown",
+    "ClassStats",
+    "OTHER",
+    "evaluate_linking",
+    "LinkingResult",
+]

@@ -1,0 +1,164 @@
+"""Statistical machinery on top of the Section 4.3 metrics.
+
+The paper reports point estimates ("the average measurements ... for 100
+repetitions"); a reproduction on synthetic substrates additionally needs
+uncertainty and significance to tell real shape differences from noise:
+
+* :func:`bootstrap_prf` — percentile bootstrap confidence intervals for
+  precision / recall / F1 over the evaluated pairs;
+* :func:`paired_permutation_test` — sign-flip permutation test for the
+  F1 difference of two systems evaluated on *identical* pairs (which the
+  Section 4.1 protocol guarantees);
+* :func:`mcnemar_test` — exact McNemar test on the systems' discordant
+  correct/incorrect pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import stats
+
+from .metrics import PRF, precision_recall_f1
+
+__all__ = [
+    "ConfidenceInterval",
+    "BootstrapResult",
+    "bootstrap_prf",
+    "paired_permutation_test",
+    "mcnemar_test",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided percentile interval."""
+
+    point: float
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        return f"{self.point:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Bootstrap CIs for the three Section 4.3 metrics."""
+
+    precision: ConfidenceInterval
+    recall: ConfidenceInterval
+    f1: ConfidenceInterval
+    n_resamples: int
+    confidence: float
+
+
+def _validate_pairs(labels: np.ndarray, predictions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=bool)
+    predictions = np.asarray(predictions, dtype=bool)
+    if labels.shape != predictions.shape or labels.ndim != 1:
+        raise ValueError("labels and predictions must be aligned 1-d arrays")
+    if len(labels) == 0:
+        raise ValueError("cannot bootstrap zero pairs")
+    return labels, predictions
+
+
+def bootstrap_prf(
+    labels: np.ndarray,
+    predictions: np.ndarray,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Percentile-bootstrap CIs for P/R/F1 over evaluated pairs."""
+    labels, predictions = _validate_pairs(labels, predictions)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = len(labels)
+    point = precision_recall_f1(labels, predictions)
+
+    samples = np.empty((n_resamples, 3), dtype=np.float64)
+    for b in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        prf = precision_recall_f1(labels[idx], predictions[idx])
+        samples[b] = (prf.precision, prf.recall, prf.f1)
+
+    alpha = (1.0 - confidence) / 2.0
+    lows = np.quantile(samples, alpha, axis=0)
+    highs = np.quantile(samples, 1.0 - alpha, axis=0)
+    return BootstrapResult(
+        precision=ConfidenceInterval(point.precision, float(lows[0]), float(highs[0])),
+        recall=ConfidenceInterval(point.recall, float(lows[1]), float(highs[1])),
+        f1=ConfidenceInterval(point.f1, float(lows[2]), float(highs[2])),
+        n_resamples=n_resamples,
+        confidence=confidence,
+    )
+
+
+def paired_permutation_test(
+    labels: np.ndarray,
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    n_permutations: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Two-sided sign-flip permutation p-value for the F1 difference.
+
+    Under the null (the systems are exchangeable), swapping the two
+    systems' predictions on a random subset of pairs leaves the F1
+    difference distribution symmetric around zero; the p-value is the
+    fraction of permuted differences at least as extreme as the observed
+    one.  Requires both systems evaluated on the *same* labelled pairs.
+    """
+    labels, predictions_a = _validate_pairs(labels, predictions_a)
+    _, predictions_b = _validate_pairs(labels, predictions_b)
+    rng = np.random.default_rng(seed)
+    n = len(labels)
+
+    def f1_diff(a: np.ndarray, b: np.ndarray) -> float:
+        return precision_recall_f1(labels, a).f1 - precision_recall_f1(labels, b).f1
+
+    observed = abs(f1_diff(predictions_a, predictions_b))
+    if observed == 0.0:
+        return 1.0
+    hits = 0
+    for _ in range(n_permutations):
+        flip = rng.random(n) < 0.5
+        a = np.where(flip, predictions_b, predictions_a)
+        b = np.where(flip, predictions_a, predictions_b)
+        if abs(f1_diff(a, b)) >= observed - 1e-12:
+            hits += 1
+    return (hits + 1) / (n_permutations + 1)
+
+
+def mcnemar_test(
+    labels: np.ndarray,
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+) -> Dict[str, float]:
+    """Exact McNemar test on per-pair correctness of two systems.
+
+    Returns the discordant counts (``only_a`` — pairs only system A got
+    right, ``only_b`` — only system B) and the exact two-sided binomial
+    p-value.  A p-value of 1.0 with zero discordant pairs means the two
+    systems made identical mistakes.
+    """
+    labels, predictions_a = _validate_pairs(labels, predictions_a)
+    _, predictions_b = _validate_pairs(labels, predictions_b)
+    correct_a = predictions_a == labels
+    correct_b = predictions_b == labels
+    only_a = int(np.sum(correct_a & ~correct_b))
+    only_b = int(np.sum(~correct_a & correct_b))
+    discordant = only_a + only_b
+    if discordant == 0:
+        p_value = 1.0
+    else:
+        p_value = float(stats.binomtest(only_a, discordant, 0.5).pvalue)
+    return {"only_a": only_a, "only_b": only_b, "p_value": p_value}

@@ -1,0 +1,89 @@
+"""Per-discrepancy-class evaluation breakdown.
+
+Section 4.1 notes that the evaluation negatives "purposely cover
+different cases (e.g., abbreviation, synonym, acronym, and
+simplification)"; Section 1 motivates the whole problem with those same
+discrepancy classes.  This module splits a system's test pairs by the
+*inferred* discrepancy class between the ambiguous mention surface and
+the gold entity name (see
+:func:`repro.text.variants.classify_discrepancy`) and reports accuracy
+per class — which classes a system actually solves, not just its
+aggregate F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.hetero import HeteroGraph
+from ..text.variants import VariantKind, classify_discrepancy
+
+__all__ = ["ClassStats", "DiscrepancyBreakdown", "discrepancy_breakdown", "OTHER"]
+
+#: bucket for surfaces no generator explains (e.g. compound corruptions)
+OTHER = "other"
+
+
+@dataclass
+class ClassStats:
+    """Accuracy of the positive test pairs in one discrepancy class."""
+
+    kind: str
+    total: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+@dataclass
+class DiscrepancyBreakdown:
+    """Per-class stats plus the overall positive-pair accuracy."""
+
+    classes: Dict[str, ClassStats] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(s.total for s in self.classes.values())
+
+    @property
+    def overall_accuracy(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(s.correct for s in self.classes.values()) / total
+
+    def rows(self) -> List[List[str]]:
+        """Table rows (class, n, accuracy) sorted by class name."""
+        out = []
+        for kind in sorted(self.classes):
+            s = self.classes[kind]
+            out.append([kind, str(s.total), f"{s.accuracy:.3f}"])
+        return out
+
+
+def discrepancy_breakdown(
+    records: Sequence,
+    kb: HeteroGraph,
+) -> DiscrepancyBreakdown:
+    """Classify every *positive* evaluated pair by discrepancy class.
+
+    ``records`` are the :class:`~repro.core.trainer.PairRecord` objects a
+    trainer's test evaluation returns (``record=True``); a pair counts as
+    correct when its thresholded prediction equals its label.
+    """
+    breakdown = DiscrepancyBreakdown()
+    for record in records:
+        if record.label != 1:
+            continue
+        surface = record.query_graph.mention_surface
+        canonical = kb.node_name(record.ref_entity)
+        synonyms = kb.node_aliases(record.ref_entity)
+        kind: Optional[VariantKind] = classify_discrepancy(canonical, surface, synonyms)
+        key = kind.value if kind is not None else OTHER
+        stats = breakdown.classes.setdefault(key, ClassStats(kind=key))
+        stats.total += 1
+        stats.correct += int(bool(record.prediction) == bool(record.label))
+    return breakdown

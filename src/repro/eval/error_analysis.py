@@ -1,0 +1,90 @@
+"""Error analysis (Section 4.5, Table 6).
+
+Classifies every misclassified test *mention* into the paper's three
+error categories:
+
+* **Gqry construction** — the query graph carried ambiguous semantic
+  information: some mention matched entities of multiple types, so the
+  augmentation added wrong/irrelevant relationships (Section 4.5 reasons
+  1 and 2).
+* **Insufficient structure** — the snippet was too short to build a
+  useful query graph (the paper: "almost 50% of the errors are due to a
+  lack of graph structural information"; e.g. one context mention only).
+* **Highly similar nodes** — the query graph was fine but the gold
+  entity sits in a dense region of near-identical candidates (the hard
+  negatives of Section 3.2).
+
+The categories are assigned in that priority order, mirroring the
+paper's narrative (construction problems mask the rest; density is the
+residual explanation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+if TYPE_CHECKING:  # avoid a circular import; PairRecord is typing-only here
+    from ..core.trainer import PairRecord
+
+GQRY_CONSTRUCTION = "Gqry construction"
+INSUFFICIENT_STRUCTURE = "Insufficient structure"
+HIGHLY_SIMILAR = "Highly similar nodes"
+
+CATEGORIES = (GQRY_CONSTRUCTION, INSUFFICIENT_STRUCTURE, HIGHLY_SIMILAR)
+
+
+@dataclass
+class ErrorBreakdown:
+    """Counts and rates of error categories over one test set."""
+
+    total_mentions: int
+    errors: Dict[str, int] = field(default_factory=dict)
+
+    def rate(self, category: str) -> float:
+        """Errors of ``category`` as a fraction of the test set (Table 6
+        reports '% of each test set')."""
+        if self.total_mentions == 0:
+            return 0.0
+        return self.errors.get(category, 0) / self.total_mentions
+
+    def rates(self) -> Dict[str, float]:
+        return {c: self.rate(c) for c in CATEGORIES}
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
+
+
+def _mention_failed(records: Sequence[PairRecord]) -> bool:
+    """A mention counts as an error when any of its evaluation pairs is
+    misclassified (missed positive or false match)."""
+    return any(bool(r.prediction) != bool(r.label) for r in records)
+
+
+def categorize(records: Sequence[PairRecord], insufficient_context_max: int = 1) -> str:
+    """Assign the paper's error category to one failed mention."""
+    qg = records[0].query_graph
+    if qg.multi_type_mentions > 0:
+        return GQRY_CONSTRUCTION
+    if qg.num_context_nodes <= insufficient_context_max:
+        return INSUFFICIENT_STRUCTURE
+    return HIGHLY_SIMILAR
+
+
+def analyze_errors(
+    test_records: Sequence[PairRecord],
+    insufficient_context_max: int = 1,
+) -> ErrorBreakdown:
+    """Group a trainer's test records by mention and classify failures."""
+    by_mention: Dict[int, List[PairRecord]] = {}
+    for record in test_records:
+        by_mention.setdefault(id(record.query_graph), []).append(record)
+
+    breakdown = ErrorBreakdown(total_mentions=len(by_mention))
+    for records in by_mention.values():
+        if not _mention_failed(records):
+            continue
+        category = categorize(records, insufficient_context_max)
+        breakdown.errors[category] = breakdown.errors.get(category, 0) + 1
+    return breakdown

@@ -1,0 +1,79 @@
+"""End-to-end linking evaluation (ranking view).
+
+The paper's Section 4.1 protocol scores *pair classification* — each
+(mention, candidate) pair gets an independent match/no-match decision.
+A deployed disambiguator instead *ranks* candidates and links the top
+one.  This module evaluates that deployment view: run the full pipeline
+(`NER -> query graph -> Siamese GNN -> candidate ranking`) over test
+snippets and report Hits@1 (linking accuracy), Hits@k, and MRR —
+complementing, not replacing, the Table 3 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..text.corpus import Snippet, parse_cui
+
+__all__ = ["LinkingResult", "evaluate_linking"]
+
+
+@dataclass
+class LinkingResult:
+    """Ranking metrics over end-to-end linked test snippets."""
+
+    hits_at_1: float
+    hits_at_k: float
+    mrr: float
+    k: int
+    n_evaluated: int
+    n_skipped: int  # snippets without a resolvable gold entity
+    ranks: List[Optional[int]] = field(default_factory=list, repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"Hits@1={self.hits_at_1:.3f} Hits@{self.k}={self.hits_at_k:.3f} "
+            f"MRR={self.mrr:.3f} (n={self.n_evaluated})"
+        )
+
+
+def evaluate_linking(
+    pipeline,
+    snippets: Sequence[Snippet],
+    top_k: int = 5,
+    restrict_to_candidates: bool = True,
+) -> LinkingResult:
+    """Link every snippet's ambiguous mention and score against its gold.
+
+    ``pipeline`` is a trained :class:`~repro.core.pipeline.EDPipeline`.
+    A snippet contributes rank ``r`` when its gold entity appears at
+    position ``r`` (1-based) of the ranked candidates, else ``None``
+    (reciprocal rank 0).  Snippets whose gold annotation is empty are
+    skipped and counted in ``n_skipped``.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    ranks: List[Optional[int]] = []
+    skipped = 0
+    for snippet in snippets:
+        link_id = snippet.ambiguous_mention.link_id
+        if not link_id:
+            skipped += 1
+            continue
+        gold = parse_cui(link_id)
+        prediction = pipeline.disambiguate_snippet(
+            snippet, top_k=top_k, restrict_to_candidates=restrict_to_candidates
+        )
+        try:
+            ranks.append(prediction.ranked_entities.index(gold) + 1)
+        except ValueError:
+            ranks.append(None)
+
+    n = len(ranks)
+    if n == 0:
+        return LinkingResult(0.0, 0.0, 0.0, top_k, 0, skipped)
+    hits1 = sum(1 for r in ranks if r == 1) / n
+    hitsk = sum(1 for r in ranks if r is not None and r <= top_k) / n
+    mrr = sum(1.0 / r for r in ranks if r is not None) / n
+    return LinkingResult(hits1, hitsk, mrr, top_k, n, skipped, ranks)

@@ -1,0 +1,96 @@
+"""Evaluation metrics (Section 4.3): precision, recall, F1 over the pair
+classification protocol, plus ranking metrics for the end-to-end linking
+extension.
+
+Per Section 4.1, validation and test sets contain each snippet's positive
+(mention, gold entity) pair *plus the same number of hard negative pairs*;
+systems classify each pair and are scored on the positive class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+
+    def __str__(self) -> str:
+        return f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray) -> PRF:
+    """Binary P/R/F1 on the positive class.
+
+    Degenerate cases follow the usual convention: empty denominators
+    yield 0.0.
+    """
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    tp = int(np.sum(labels & predictions))
+    fp = int(np.sum(~labels & predictions))
+    fn = int(np.sum(labels & ~predictions))
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return PRF(precision, recall, f1)
+
+
+def classify_logits(logits: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Sigmoid-threshold pair classification."""
+    probs = 1.0 / (1.0 + np.exp(-np.clip(np.asarray(logits, dtype=np.float64), -60, 60)))
+    return probs >= threshold
+
+
+def prf_from_logits(labels: np.ndarray, logits: np.ndarray, threshold: float = 0.5) -> PRF:
+    return precision_recall_f1(labels, classify_logits(logits, threshold))
+
+
+def mean_prf(results: Sequence[PRF]) -> PRF:
+    """Unweighted mean of several P/R/F1 triples (the paper reports the
+    average over 100 test repetitions)."""
+    if not results:
+        raise ValueError("mean_prf of empty sequence")
+    return PRF(
+        float(np.mean([r.precision for r in results])),
+        float(np.mean([r.recall for r in results])),
+        float(np.mean([r.f1 for r in results])),
+    )
+
+
+def hits_at_k(ranked_ids: Sequence[np.ndarray], gold_ids: Sequence[int], k: int) -> float:
+    """Fraction of queries whose gold entity appears in the top-k ranked
+    candidates (end-to-end linking metric; extension beyond the paper)."""
+    if len(ranked_ids) != len(gold_ids):
+        raise ValueError("ranked_ids and gold_ids must align")
+    if not ranked_ids:
+        return 0.0
+    hits = sum(1 for ranked, gold in zip(ranked_ids, gold_ids) if gold in ranked[:k])
+    return hits / len(ranked_ids)
+
+
+def mean_reciprocal_rank(ranked_ids: Sequence[np.ndarray], gold_ids: Sequence[int]) -> float:
+    """MRR of the gold entity in the ranked candidate lists."""
+    if len(ranked_ids) != len(gold_ids):
+        raise ValueError("ranked_ids and gold_ids must align")
+    if not ranked_ids:
+        return 0.0
+    total = 0.0
+    for ranked, gold in zip(ranked_ids, gold_ids):
+        positions = np.nonzero(np.asarray(ranked) == gold)[0]
+        if len(positions):
+            total += 1.0 / (int(positions[0]) + 1)
+    return total / len(ranked_ids)

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows the paper's tables report; this module
+keeps the formatting in one place (fixed-width text, optionally
+markdown) so bench output diffs cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import PRF
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*[str(c) for c in row]))
+    return "\n".join(lines)
+
+
+def format_prf(prf: PRF) -> List[str]:
+    return [f"{prf.precision:.3f}", f"{prf.recall:.3f}", f"{prf.f1:.3f}"]
+
+
+def results_table(
+    results: Dict[str, Dict[str, PRF]],
+    title: str = "",
+    systems: Optional[Sequence[str]] = None,
+    datasets: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a Table 3-style grid: rows = datasets, per-system P/R/F1.
+
+    ``results[system][dataset] -> PRF``.
+    """
+    systems = list(systems or results.keys())
+    dataset_names: List[str] = list(datasets or [])
+    if not dataset_names:
+        seen: List[str] = []
+        for system in systems:
+            for ds in results.get(system, {}):
+                if ds not in seen:
+                    seen.append(ds)
+        dataset_names = seen
+
+    headers = ["Dataset"]
+    for system in systems:
+        headers += [f"{system} P", f"{system} R", f"{system} F1"]
+    rows: List[List[str]] = []
+    for ds in dataset_names:
+        row = [ds]
+        for system in systems:
+            prf = results.get(system, {}).get(ds)
+            row += format_prf(prf) if prf else ["-", "-", "-"]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)

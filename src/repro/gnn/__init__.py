@@ -1,0 +1,43 @@
+"""GNN encoders (Section 2.1): GraphSAGE, R-GCN and MAGNN as evaluated in
+the paper, plus GCN (for the NCEL baseline) and the pluggable extensions
+GAT, HAN, and HetGNN ("other GNNs can be plugged into our architecture
+as well", Section 1).
+"""
+
+from .base import GNNEncoder  # noqa: F401
+from .gat import GAT, GatLayer  # noqa: F401
+from .gcn import GCN, GcnLayer  # noqa: F401
+from .graphsage import GraphSAGE, SageLayer  # noqa: F401
+from .han import HAN, HanLayer, HanNodeAttention, HanSemanticAttention  # noqa: F401
+from .hetgnn import HetGNN, HetGnnLayer  # noqa: F401
+from .magnn import (  # noqa: F401
+    MAGNN,
+    IntraMetapathAggregator,
+    InterMetapathAggregator,
+    MagnnLayer,
+    RelationalRotationEncoder,
+)
+from .rgcn import RGCN, RgcnLayer  # noqa: F401
+
+__all__ = [
+    "GNNEncoder",
+    "GraphSAGE",
+    "SageLayer",
+    "RGCN",
+    "RgcnLayer",
+    "MAGNN",
+    "MagnnLayer",
+    "RelationalRotationEncoder",
+    "IntraMetapathAggregator",
+    "InterMetapathAggregator",
+    "GCN",
+    "GcnLayer",
+    "GAT",
+    "GatLayer",
+    "HAN",
+    "HanLayer",
+    "HanNodeAttention",
+    "HanSemanticAttention",
+    "HetGNN",
+    "HetGnnLayer",
+]

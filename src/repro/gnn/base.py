@@ -1,0 +1,74 @@
+"""Common interface of the pluggable GNN encoders (Section 2.1).
+
+Every encoder separates *compilation* (graph-dependent, parameter-free
+preprocessing: edge arrays, per-relation slices, metapath instances) from
+the *forward pass* (differentiable message passing over the compiled
+structure).  ``G_ref`` is compiled once per training run; the tiny query
+graphs are compiled per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..graph.hetero import HeteroGraph
+
+
+class GNNEncoder(Module):
+    """Base class: ``compile`` a graph, then ``forward`` features over it.
+
+    Subclasses must set ``in_dim`` / ``out_dim`` and implement
+    :meth:`compile` and :meth:`forward`.
+    """
+
+    in_dim: int
+    out_dim: int
+
+    def compile(self, graph: HeteroGraph) -> Any:
+        """Parameter-free preprocessing of a graph into the structure the
+        forward pass consumes.  Must not capture Tensors."""
+        raise NotImplementedError
+
+    def forward(self, compiled: Any, features: Tensor, edge_mask: Optional[Tensor] = None) -> Tensor:
+        """Embed every node: ``[num_nodes, out_dim]``.
+
+        ``edge_mask`` (optional, differentiable) scales messages per
+        compiled edge — the hook the GNN-Explainer optimises (Fig. 4a).
+        Its length/layout is encoder specific; see :meth:`mask_size` and
+        each encoder's docs.
+        """
+        raise NotImplementedError
+
+    def mask_size(self, compiled: Any) -> int:
+        """Length of the ``edge_mask`` vector this encoder expects for a
+        compiled graph (0 when masking is not supported)."""
+        return 0
+
+    def expand_edge_mask(self, compiled: Any, per_edge: Tensor) -> Tensor:
+        """Expand a per-original-edge mask ``[num_edges]`` into the
+        encoder's compiled mask layout (default: identity)."""
+        return per_edge
+
+    def encode(self, graph: HeteroGraph, features: Optional[np.ndarray] = None) -> Tensor:
+        """Convenience one-shot: compile + forward.
+
+        ``features`` defaults to the graph's stored features; an encoder
+        used in a training loop should call ``compile`` once instead.
+        """
+        if features is None:
+            if graph.features is None:
+                raise ValueError("graph has no features; pass them explicitly")
+            features = graph.features
+        if features.shape[1] != self.in_dim:
+            raise ValueError(
+                f"feature dim {features.shape[1]} != encoder in_dim {self.in_dim}"
+            )
+        return self.forward(self.compile(graph), Tensor(np.asarray(features, dtype=np.float32)))
+
+
+def check_feature_dim(features: Tensor, expected: int, who: str) -> None:
+    if features.shape[-1] != expected:
+        raise ValueError(f"{who}: feature dim {features.shape[-1]} != expected {expected}")

@@ -1,0 +1,122 @@
+"""GAT encoder (Velickovic et al. [42]) — an *extension* beyond the three
+variants evaluated in the paper ("other GNNs can be plugged into our
+architecture as well", Section 1).  Included so the benchmark suite can
+report a fourth pluggable encoder in the ablation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, ModuleList, Tensor, gather
+from ..autograd import functional as F
+from ..autograd import init
+from ..autograd.ops import scatter_add, segment_softmax
+from ..graph.hetero import HeteroGraph
+from .base import GNNEncoder
+
+
+@dataclass
+class GatGraph:
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+
+
+class GatLayer(Module):
+    """Multi-head graph attention layer (concatenating heads)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if out_dim % num_heads != 0:
+            raise ValueError(f"out_dim {out_dim} not divisible by heads {num_heads}")
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.out_dim = out_dim
+        self.linear = Linear(in_dim, out_dim, rng, bias=False)
+        self.att_src = init.xavier_uniform((num_heads, self.head_dim), rng)
+        self.att_dst = init.xavier_uniform((num_heads, self.head_dim), rng)
+        self.activation = activation
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, compiled: GatGraph, h: Tensor, edge_mask=None) -> Tensor:
+        n = compiled.num_nodes
+        transformed = self.linear(h).reshape(n, self.num_heads, self.head_dim)
+        score_src = (transformed * self.att_src).sum(axis=2)  # [N, H]
+        score_dst = (transformed * self.att_dst).sum(axis=2)
+        edge_scores = (
+            gather(score_src, compiled.src) + gather(score_dst, compiled.dst)
+        ).leaky_relu(0.2)
+        alpha = segment_softmax(edge_scores, compiled.dst, n)  # [E, H]
+        if self.dropout is not None:
+            alpha = self.dropout(alpha)
+        if edge_mask is not None:
+            alpha = alpha * edge_mask.reshape(-1, 1)
+        messages = gather(transformed, compiled.src) * alpha.reshape(-1, self.num_heads, 1)
+        pooled = scatter_add(messages, compiled.dst, n).reshape(n, self.out_dim)
+        return F.elu(pooled) if self.activation else pooled
+
+
+class GAT(GNNEncoder):
+    """Multi-layer GAT over the bidirected view with self-loops."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        num_heads: int = 2,
+        out_dim: Optional[int] = None,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim if out_dim is not None else hidden_dim
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [self.out_dim]
+        self.layers = ModuleList(
+            GatLayer(
+                dims[i],
+                dims[i + 1],
+                num_heads,
+                rng,
+                activation=(i < num_layers - 1),
+                dropout=dropout if i < num_layers - 1 else 0.0,
+            )
+            for i in range(num_layers)
+        )
+
+    def compile(self, graph: HeteroGraph) -> GatGraph:
+        view = graph.to_bidirected()
+        loops = np.arange(graph.num_nodes, dtype=np.int64)
+        src = np.concatenate([view.src, loops])
+        dst = np.concatenate([view.dst, loops])
+        return GatGraph(graph.num_nodes, src, dst)
+
+    def forward(self, compiled: GatGraph, features: Tensor, edge_mask=None) -> Tensor:
+        h = features
+        for layer in self.layers:
+            h = layer(compiled, h, edge_mask)
+        return h
+
+    def mask_size(self, compiled: GatGraph) -> int:
+        return len(compiled.src)
+
+    def expand_edge_mask(self, compiled: GatGraph, per_edge: Tensor) -> Tensor:
+        from ..autograd.ops import concat
+
+        ones = Tensor(np.ones(compiled.num_nodes, dtype=np.float32))
+        return concat([per_edge, per_edge, ones], axis=0)

@@ -1,0 +1,115 @@
+"""Plain GCN encoder (Kipf & Welling [20]).
+
+Used by the NCEL baseline (Section 4.2): NCEL "applies graph convolutional
+network to integrate both local contextual features and global coherence
+information", but — as the paper notes — "does not take edge types into
+consideration".  This encoder therefore works on the untyped, symmetric-
+normalised adjacency with self-loops::
+
+    H' = sigma(D^-1/2 (A + I) D^-1/2 H W)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, ModuleList, Tensor, gather
+from ..autograd import functional as F
+from ..autograd.ops import scatter_add
+from ..graph.hetero import HeteroGraph
+from .base import GNNEncoder
+
+
+@dataclass
+class GcnGraph:
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    edge_weight: np.ndarray  # symmetric normalisation coefficients
+
+
+class GcnLayer(Module):
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng)
+        self.activation = activation
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, compiled: GcnGraph, h: Tensor, edge_mask=None) -> Tensor:
+        transformed = self.linear(h)
+        messages = gather(transformed, compiled.src) * Tensor(compiled.edge_weight[:, None])
+        if edge_mask is not None:
+            messages = messages * edge_mask.reshape(-1, 1)
+        out = scatter_add(messages, compiled.dst, compiled.num_nodes)
+        if self.activation:
+            out = F.relu(out)
+        if self.dropout is not None:
+            out = self.dropout(out)
+        return out
+
+
+class GCN(GNNEncoder):
+    """Multi-layer untyped GCN over the bidirected view with self-loops."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        out_dim: Optional[int] = None,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim if out_dim is not None else hidden_dim
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [self.out_dim]
+        self.layers = ModuleList(
+            GcnLayer(
+                dims[i],
+                dims[i + 1],
+                rng,
+                activation=(i < num_layers - 1),
+                dropout=dropout if i < num_layers - 1 else 0.0,
+            )
+            for i in range(num_layers)
+        )
+
+    def compile(self, graph: HeteroGraph) -> GcnGraph:
+        view = graph.to_bidirected()
+        loops = np.arange(graph.num_nodes, dtype=np.int64)
+        src = np.concatenate([view.src, loops])
+        dst = np.concatenate([view.dst, loops])
+        degree = np.bincount(dst, minlength=graph.num_nodes).astype(np.float32)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1.0))
+        weight = (inv_sqrt[src] * inv_sqrt[dst]).astype(np.float32)
+        return GcnGraph(graph.num_nodes, src, dst, weight)
+
+    def forward(self, compiled: GcnGraph, features: Tensor, edge_mask=None) -> Tensor:
+        h = features
+        for layer in self.layers:
+            h = layer(compiled, h, edge_mask)
+        return h
+
+    def mask_size(self, compiled: GcnGraph) -> int:
+        return len(compiled.src)
+
+    def expand_edge_mask(self, compiled: GcnGraph, per_edge: Tensor) -> Tensor:
+        # Layout: forward edges, inverse edges, then self-loops (unmasked).
+        from ..autograd.ops import concat
+
+        num_loops = compiled.num_nodes
+        ones = Tensor(np.ones(num_loops, dtype=np.float32))
+        return concat([per_edge, per_edge, ones], axis=0)

@@ -1,0 +1,117 @@
+"""GraphSAGE encoder (Hamilton et al. [16]; paper Eq. 1).
+
+Each layer aggregates the neighbourhood (mean aggregator over the
+*undirected* edge view — GraphSAGE is relation-blind, which is exactly the
+property the paper's ablation exploits: query-graph augmentation adds
+relation labels that this encoder cannot see) and combines it with the
+node's own state::
+
+    h_N(v) = AGGREGATE({h_u : u in N(v)})
+    h_v    = sigma(W . [h_v || h_N(v)])
+
+Hidden states are L2-normalised per layer as in the original paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, ModuleList, Tensor, concat, gather
+from ..autograd import functional as F
+from ..autograd.ops import scatter_add
+from ..graph.hetero import HeteroGraph
+from .base import GNNEncoder
+
+
+@dataclass
+class SageGraph:
+    """Compiled structure: undirected edge endpoints + in-degree."""
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    degree: np.ndarray  # incoming degree per node under the undirected view
+
+
+class SageLayer(Module):
+    """One GraphSAGE layer with mean aggregation (Eq. 1)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.linear = Linear(2 * in_dim, out_dim, rng)
+        self.activation = activation
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, compiled: SageGraph, h: Tensor, edge_mask=None) -> Tensor:
+        messages = gather(h, compiled.src)
+        if edge_mask is not None:
+            messages = messages * edge_mask.reshape(-1, 1)
+        summed = scatter_add(messages, compiled.dst, compiled.num_nodes)
+        denom = Tensor(np.maximum(compiled.degree, 1.0)[:, None].astype(np.float32))
+        neighborhood = summed / denom
+        combined = self.linear(concat([h, neighborhood], axis=1))
+        if self.activation:
+            combined = F.relu(combined)
+        if self.dropout is not None:
+            combined = self.dropout(combined)
+        return F.l2_normalize(combined, axis=1)
+
+
+class GraphSAGE(GNNEncoder):
+    """Multi-layer GraphSAGE encoder."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        out_dim: Optional[int] = None,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim if out_dim is not None else hidden_dim
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [self.out_dim]
+        self.layers = ModuleList(
+            SageLayer(
+                dims[i],
+                dims[i + 1],
+                rng,
+                activation=(i < num_layers - 1),
+                dropout=dropout if i < num_layers - 1 else 0.0,
+            )
+            for i in range(num_layers)
+        )
+
+    def compile(self, graph: HeteroGraph) -> SageGraph:
+        view = graph.to_bidirected()
+        degree = np.bincount(view.dst, minlength=graph.num_nodes).astype(np.float32)
+        return SageGraph(graph.num_nodes, view.src, view.dst, degree)
+
+    def forward(self, compiled: SageGraph, features: Tensor, edge_mask=None) -> Tensor:
+        h = features
+        for layer in self.layers:
+            h = layer(compiled, h, edge_mask)
+        return h
+
+    def mask_size(self, compiled: SageGraph) -> int:
+        return len(compiled.src)
+
+    def expand_edge_mask(self, compiled: SageGraph, per_edge: Tensor) -> Tensor:
+        # Bidirected view lists forward edges then their inverses.
+        from ..autograd.ops import concat
+
+        return concat([per_edge, per_edge], axis=0)

@@ -1,0 +1,263 @@
+"""HAN encoder (Wang et al. [46]) — a pluggable *extension* encoder.
+
+The paper's related work singles out the Heterogeneous graph Attention
+Network as the metapath predecessor of MAGNN: HAN "leverages a graph
+attention network architecture to aggregate information from the
+neighbors and then to combine various metapaths through the attention
+mechanism".  Unlike MAGNN it looks only at the metapath *endpoints*
+(the metapath-based neighbours of Definition 2.4), discarding the
+intermediate nodes that MAGNN's relational rotation encoder folds in —
+which is exactly the contrast the ED-GNN ablation wants to measure.
+
+Two attention levels, following the original formulation:
+
+* **Node-level** — per metapath ``P``, a multi-head GAT-style attention
+  over the pairs (target, metapath-based neighbour):
+  ``e^P_vu = LeakyReLU(a_P^T [h_v || h_u])``, softmax over ``N^P_v``.
+* **Semantic-level** — one global attention over metapaths:
+  ``w_P = (1/|V|) sum_v q^T tanh(W h^P_v + b)``, ``beta = softmax(w)``,
+  final embedding ``sum_P beta_P h^P_v``.
+
+A residual combine keeps nodes without metapath neighbours embedded
+(the tiny query graphs routinely contain such nodes), mirroring the
+MAGNN implementation in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, ModuleDict, ModuleList, Tensor
+from ..autograd import functional as F
+from ..autograd import init
+from ..autograd.ops import concat, gather, scatter_add, segment_softmax, stack
+from ..graph.hetero import HeteroGraph
+from ..graph.metapath import Metapath, default_metapaths, enumerate_instances
+from .base import GNNEncoder
+
+
+@dataclass
+class HanGraph:
+    """Compiled structure: metapath-based neighbour pairs per metapath.
+
+    ``pair_edges[i]`` maps each (target, neighbour) pair of metapath ``i``
+    to the original-edge ids of one instance connecting them
+    (``[n_pairs, path_len - 1]``), enabling per-edge masking.
+    """
+
+    num_nodes: int
+    num_edges: int
+    node_types: np.ndarray
+    targets: List[np.ndarray]  # per metapath: [n_pairs]
+    neighbors: List[np.ndarray]  # per metapath: [n_pairs]
+    pair_edges: List[np.ndarray]  # per metapath: [n_pairs, path_len - 1]
+
+
+class HanNodeAttention(Module):
+    """Node-level attention of one metapath (multi-head, concatenated)."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.att_target = init.xavier_uniform((num_heads, self.head_dim), rng)
+        self.att_neighbor = init.xavier_uniform((num_heads, self.head_dim), rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(
+        self,
+        h: Tensor,
+        targets: np.ndarray,
+        neighbors: np.ndarray,
+        num_nodes: int,
+        pair_mask: Optional[Tensor] = None,
+    ) -> Tensor:
+        n_pairs = len(targets)
+        h_heads_t = gather(h, targets).reshape(n_pairs, self.num_heads, self.head_dim)
+        h_heads_n = gather(h, neighbors).reshape(n_pairs, self.num_heads, self.head_dim)
+        scores = (
+            (h_heads_t * self.att_target).sum(axis=2)
+            + (h_heads_n * self.att_neighbor).sum(axis=2)
+        ).leaky_relu(0.2)  # [n_pairs, H]
+        alpha = segment_softmax(scores, targets, num_nodes)
+        if self.dropout is not None:
+            alpha = self.dropout(alpha)
+        if pair_mask is not None:
+            alpha = alpha * pair_mask.reshape(-1, 1)
+        weighted = h_heads_n * alpha.reshape(n_pairs, self.num_heads, 1)
+        pooled = scatter_add(weighted, targets, num_nodes)
+        return F.elu(pooled.reshape(num_nodes, self.dim))
+
+
+class HanSemanticAttention(Module):
+    """Semantic-level attention over metapath-specific embeddings."""
+
+    def __init__(self, dim: int, attention_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.project = Linear(dim, attention_dim, rng)
+        self.query = init.xavier_uniform((attention_dim,), rng)
+
+    def forward(self, per_metapath: List[Tensor]) -> Tensor:
+        scores: List[Tensor] = []
+        for h_p in per_metapath:
+            summary = F.tanh(self.project(h_p)).mean(axis=0)  # [d_a]
+            scores.append((summary * self.query).sum())
+        beta = F.softmax(stack(scores, axis=0).reshape(1, -1), axis=-1).reshape(-1)
+        mixed = per_metapath[0] * beta[0]
+        for i in range(1, len(per_metapath)):
+            mixed = mixed + per_metapath[i] * beta[i]
+        return mixed
+
+
+class HanLayer(Module):
+    """One HAN layer: node-level attention per metapath + semantic fusion."""
+
+    def __init__(
+        self,
+        dim: int,
+        metapaths: Sequence[Metapath],
+        num_heads: int,
+        attention_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.dim = dim
+        self.metapaths = list(metapaths)
+        self.node_attention = ModuleList(
+            HanNodeAttention(dim, num_heads, rng, dropout) for _ in self.metapaths
+        )
+        self.semantic = HanSemanticAttention(dim, attention_dim, rng)
+        self.combine = Linear(2 * dim, dim, rng)
+
+    def forward(self, compiled: HanGraph, h: Tensor, edge_mask: Optional[Tensor] = None) -> Tensor:
+        num_nodes = compiled.num_nodes
+        per_metapath: List[Tensor] = []
+        for i in range(len(self.metapaths)):
+            targets = compiled.targets[i]
+            if len(targets) == 0:
+                continue
+            pair_mask: Optional[Tensor] = None
+            if edge_mask is not None:
+                hop_edges = compiled.pair_edges[i]
+                pair_mask = gather(edge_mask, hop_edges[:, 0])
+                for j in range(1, hop_edges.shape[1]):
+                    pair_mask = pair_mask * gather(edge_mask, hop_edges[:, j])
+            per_metapath.append(
+                self.node_attention[i](
+                    h, targets, compiled.neighbors[i], num_nodes, pair_mask
+                )
+            )
+
+        if per_metapath:
+            context = self.semantic(per_metapath)
+        else:
+            context = Tensor(np.zeros((num_nodes, self.dim), dtype=np.float32))
+        # Residual combine keeps metapath-isolated nodes embedded.
+        return F.elu(self.combine(concat([h, context], axis=1)))
+
+
+class HAN(GNNEncoder):
+    """Multi-layer HAN with type-specific input projections.
+
+    Accepts the same construction surface as :class:`~repro.gnn.MAGNN`
+    (schema, metapaths, heads, attention dim) so the two are drop-in
+    interchangeable inside :class:`~repro.core.model.EDGNN`.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        schema,
+        rng: np.random.Generator,
+        metapaths: Optional[Sequence[Metapath]] = None,
+        num_heads: int = 2,
+        attention_dim: int = 128,
+        dropout: float = 0.5,
+        max_instances_per_node: int = 16,
+        normalize_output: bool = True,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = hidden_dim
+        self.normalize_output = normalize_output
+        self.schema = schema
+        self.metapaths = (
+            list(metapaths) if metapaths is not None else default_metapaths(schema)
+        )
+        if not self.metapaths:
+            raise ValueError("HAN needs at least one metapath")
+        self.max_instances_per_node = max_instances_per_node
+        self.type_transform = ModuleDict(
+            {t: Linear(in_dim, hidden_dim, rng) for t in schema.node_types}
+        )
+        self.layers = ModuleList(
+            HanLayer(hidden_dim, self.metapaths, num_heads, attention_dim, rng, dropout)
+            for _ in range(num_layers)
+        )
+
+    def compile(self, graph: HeteroGraph) -> HanGraph:
+        src, dst, _ = graph.edges()
+        pair_to_edge: Dict[tuple, int] = {}
+        for e, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+            pair_to_edge.setdefault((s, d), e)
+            pair_to_edge.setdefault((d, s), e)
+
+        targets: List[np.ndarray] = []
+        neighbors: List[np.ndarray] = []
+        pair_edges: List[np.ndarray] = []
+        for mp in self.metapaths:
+            inst = enumerate_instances(
+                graph, mp, max_instances_per_node=self.max_instances_per_node
+            )
+            if inst.num_instances == 0:
+                targets.append(np.empty(0, dtype=np.int64))
+                neighbors.append(np.empty(0, dtype=np.int64))
+                pair_edges.append(np.empty((0, mp.length - 1), dtype=np.int64))
+                continue
+            # HAN consumes metapath-based neighbours: instance endpoints.
+            targets.append(inst.paths[:, 0].copy())
+            neighbors.append(inst.paths[:, -1].copy())
+            hop_ids = np.zeros((inst.num_instances, mp.length - 1), dtype=np.int64)
+            for row, path in enumerate(inst.paths.tolist()):
+                for j in range(len(path) - 1):
+                    hop_ids[row, j] = pair_to_edge[(path[j], path[j + 1])]
+            pair_edges.append(hop_ids)
+        return HanGraph(
+            graph.num_nodes,
+            graph.num_edges,
+            graph.node_types,
+            targets,
+            neighbors,
+            pair_edges,
+        )
+
+    def mask_size(self, compiled: HanGraph) -> int:
+        return compiled.num_edges
+
+    def forward(self, compiled: HanGraph, features: Tensor, edge_mask=None) -> Tensor:
+        h: Optional[Tensor] = None
+        for type_name in self.schema.node_types:
+            type_id = self.schema.node_type_id(type_name)
+            mask = compiled.node_types == type_id
+            if not mask.any():
+                continue
+            projected = self.type_transform[type_name](features)
+            masked = projected * Tensor(mask.astype(np.float32)[:, None])
+            h = masked if h is None else h + masked
+        assert h is not None, "graph has no nodes"
+        for layer in self.layers:
+            h = layer(compiled, h, edge_mask)
+        if self.normalize_output:
+            h = F.l2_normalize(h, axis=1)
+        return h

@@ -1,0 +1,327 @@
+"""MAGNN encoder (Fu et al. [12]; paper Eqs. 3-4).
+
+Metapath Aggregated GNN for heterogeneous graphs, with the three stages of
+the original model:
+
+1. *Node content transformation* — a type-specific linear projection into
+   the shared hidden space.
+2. *Intra-metapath aggregation* (Eq. 3) — every metapath instance
+   ``P(v, u)`` is encoded by a **relational rotation encoder** (RotatE-
+   style complex rotation along the hops), then instances are fused per
+   target node with multi-head graph attention:
+   ``e^P_vu = LeakyReLU(a_P^T [h_v || h_P(u,v)])``, softmax over the
+   metapath neighbourhood, weighted sum, activation.
+3. *Inter-metapath aggregation* (Eq. 4) — per target node type, metapath
+   summaries ``s_P = mean_v tanh(M h^P_v + b)`` are scored by an attention
+   vector ``q_A``; the per-type softmax ``beta_P`` mixes the metapath-
+   specific embeddings into the final node embedding.
+
+Nodes whose type anchors no metapath (or with no instances) fall back to
+their transformed content via the residual combine, so every node of the
+query graph and the KB receives an embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, ModuleDict, ModuleList, Tensor
+from ..autograd import functional as F
+from ..autograd import init
+from ..autograd.ops import concat, gather, scatter_add, segment_softmax, stack
+from ..graph.hetero import HeteroGraph
+from ..graph.metapath import Metapath, MetapathInstances, default_metapaths, enumerate_instances
+from .base import GNNEncoder
+
+
+@dataclass
+class MagnnGraph:
+    """Compiled structure: node types + instances for every metapath.
+
+    ``instance_edges[i]`` maps each instance of metapath ``i`` to the
+    original-edge ids it traverses (``[n_instances, path_len - 1]``),
+    enabling per-edge masking: an instance's mask is the product of its
+    hop-edge masks.
+    """
+
+    num_nodes: int
+    num_edges: int
+    node_types: np.ndarray
+    instances: List[MetapathInstances]
+    instance_edges: List[np.ndarray]
+
+
+def _rotate_pairs(x: Tensor, cos_phi: Tensor, sin_phi: Tensor) -> Tensor:
+    """Complex rotation of feature pairs: ``x`` is ``[n, d]`` with ``d``
+    even, interpreted as ``d/2`` complex numbers; ``cos_phi``/``sin_phi``
+    are ``[d/2]`` rotation components (unit modulus by construction)."""
+    n, d = x.shape
+    pairs = x.reshape(n, d // 2, 2)
+    real = pairs[:, :, 0]
+    imag = pairs[:, :, 1]
+    rot_real = real * cos_phi - imag * sin_phi
+    rot_imag = real * sin_phi + imag * cos_phi
+    return stack([rot_real, rot_imag], axis=2).reshape(n, d)
+
+
+class RelationalRotationEncoder(Module):
+    """Encodes a metapath instance's node features into one vector.
+
+    Hop ``j`` applies the cumulative rotation ``r_1 ... r_j`` (learned
+    angles, one vector per hop) to that node's features; the instance
+    vector is the mean of the rotated hop vectors — the target node (hop
+    0) enters unrotated.
+    """
+
+    def __init__(self, dim: int, path_len: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % 2 != 0:
+            raise ValueError("rotation encoder needs an even hidden dim")
+        self.dim = dim
+        self.path_len = path_len
+        self.angles = [
+            Tensor(
+                (rng.uniform(-np.pi, np.pi, size=dim // 2)).astype(np.float32),
+                requires_grad=True,
+            )
+            for _ in range(path_len - 1)
+        ]
+
+    def forward(self, hop_features: Sequence[Tensor]) -> Tensor:
+        if len(hop_features) != self.path_len:
+            raise ValueError(
+                f"expected {self.path_len} hop feature blocks, got {len(hop_features)}"
+            )
+        total = hop_features[0]
+        cumulative: Optional[Tensor] = None
+        for j in range(1, self.path_len):
+            phi = self.angles[j - 1]
+            cumulative = phi if cumulative is None else cumulative + phi
+            rotated = _rotate_pairs(hop_features[j], cumulative.cos(), cumulative.sin())
+            total = total + rotated
+        return total / float(self.path_len)
+
+
+class IntraMetapathAggregator(Module):
+    """Eq. 3: multi-head attention over a node's metapath instances."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.attention = init.xavier_uniform((num_heads, 2 * self.head_dim), rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(
+        self,
+        h: Tensor,
+        instance_vectors: Tensor,
+        targets: np.ndarray,
+        num_nodes: int,
+    ) -> Tensor:
+        n_inst = instance_vectors.shape[0]
+        h_target = gather(h, targets)
+        tgt_heads = h_target.reshape(n_inst, self.num_heads, self.head_dim)
+        inst_heads = instance_vectors.reshape(n_inst, self.num_heads, self.head_dim)
+        both = concat([tgt_heads, inst_heads], axis=2)  # [I, H, 2*dh]
+        scores = (both * self.attention).sum(axis=2).leaky_relu(0.01)  # [I, H]
+        alpha = segment_softmax(scores, targets, num_nodes)
+        if self.dropout is not None:
+            alpha = self.dropout(alpha)
+        weighted = inst_heads * alpha.reshape(n_inst, self.num_heads, 1)
+        pooled = scatter_add(weighted, targets, num_nodes)  # [N, H, dh]
+        return F.elu(pooled.reshape(num_nodes, self.dim))
+
+
+class InterMetapathAggregator(Module):
+    """Eq. 4: attention over metapath-specific embeddings per node type."""
+
+    def __init__(self, dim: int, attention_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.summary = Linear(dim, attention_dim, rng)
+        self.query = init.xavier_uniform((attention_dim,), rng)
+
+    def forward(
+        self,
+        per_metapath: List[Tensor],
+        type_mask: np.ndarray,
+    ) -> Tensor:
+        """Mix ``per_metapath`` embeddings (each ``[N, d]``) for the nodes
+        selected by ``type_mask`` (boolean ``[N]``)."""
+        mask = Tensor(type_mask.astype(np.float32)[:, None])
+        count = max(float(type_mask.sum()), 1.0)
+        scores: List[Tensor] = []
+        for h_p in per_metapath:
+            summary = F.tanh(self.summary(h_p))  # [N, d_s]
+            pooled = (summary * mask).sum(axis=0) / count  # s_P
+            scores.append((pooled * self.query).sum())
+        beta = F.softmax(stack(scores, axis=0).reshape(1, -1), axis=-1).reshape(-1)
+        mixed = per_metapath[0] * beta[0]
+        for i in range(1, len(per_metapath)):
+            mixed = mixed + per_metapath[i] * beta[i]
+        return mixed
+
+
+class MagnnLayer(Module):
+    """One MAGNN layer over a fixed metapath set."""
+
+    def __init__(
+        self,
+        dim: int,
+        metapaths: Sequence[Metapath],
+        num_heads: int,
+        attention_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.dim = dim
+        self.metapaths = list(metapaths)
+        self.rotators = ModuleList(
+            RelationalRotationEncoder(dim, mp.length, rng) for mp in self.metapaths
+        )
+        self.intra = ModuleList(
+            IntraMetapathAggregator(dim, num_heads, rng, dropout) for _ in self.metapaths
+        )
+        # One inter-metapath attention per target node type that anchors
+        # at least one metapath.
+        target_types = sorted({mp.target_type for mp in self.metapaths})
+        self.inter = ModuleDict(
+            {t: InterMetapathAggregator(dim, attention_dim, rng) for t in target_types}
+        )
+        self.combine = Linear(2 * dim, dim, rng)
+
+    def forward(self, compiled: MagnnGraph, h: Tensor, schema, edge_mask=None) -> Tensor:
+        num_nodes = compiled.num_nodes
+        # Intra-metapath aggregation for every metapath with instances.
+        per_metapath: Dict[int, Tensor] = {}
+        for i, (mp, inst) in enumerate(zip(self.metapaths, compiled.instances)):
+            if inst.num_instances == 0:
+                continue
+            hops = [gather(h, inst.paths[:, j]) for j in range(mp.length)]
+            vectors = self.rotators[i](hops)
+            if edge_mask is not None:
+                hop_edges = compiled.instance_edges[i]
+                inst_mask = gather(edge_mask, hop_edges[:, 0])
+                for j in range(1, hop_edges.shape[1]):
+                    inst_mask = inst_mask * gather(edge_mask, hop_edges[:, j])
+                vectors = vectors * inst_mask.reshape(-1, 1)
+            per_metapath[i] = self.intra[i](h, vectors, inst.targets, num_nodes)
+
+        # Inter-metapath aggregation per target type, assembled over all nodes.
+        meta_context: Optional[Tensor] = None
+        for type_name in self.inter.keys():
+            type_id = schema.node_type_id(type_name)
+            type_mask = compiled.node_types == type_id
+            if not type_mask.any():
+                continue
+            members = [
+                per_metapath[i]
+                for i, mp in enumerate(self.metapaths)
+                if mp.target_type == type_name and i in per_metapath
+            ]
+            if not members:
+                continue
+            mixed = self.inter[type_name](members, type_mask)
+            masked = mixed * Tensor(type_mask.astype(np.float32)[:, None])
+            meta_context = masked if meta_context is None else meta_context + masked
+
+        if meta_context is None:
+            meta_context = Tensor(np.zeros((num_nodes, self.dim), dtype=np.float32))
+        # Residual combine keeps nodes without metapath context embedded.
+        return F.elu(self.combine(concat([h, meta_context], axis=1)))
+
+
+class MAGNN(GNNEncoder):
+    """Multi-layer MAGNN with type-specific input projections.
+
+    ``metapaths`` defaults to the schema-derived set of
+    :func:`~repro.graph.metapath.default_metapaths`.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        schema,
+        rng: np.random.Generator,
+        metapaths: Optional[Sequence[Metapath]] = None,
+        num_heads: int = 2,
+        attention_dim: int = 128,
+        dropout: float = 0.5,
+        max_instances_per_node: int = 16,
+        normalize_output: bool = True,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = hidden_dim
+        self.normalize_output = normalize_output
+        self.schema = schema
+        self.metapaths = (
+            list(metapaths) if metapaths is not None else default_metapaths(schema)
+        )
+        if not self.metapaths:
+            raise ValueError("MAGNN needs at least one metapath")
+        self.max_instances_per_node = max_instances_per_node
+        self.type_transform = ModuleDict(
+            {t: Linear(in_dim, hidden_dim, rng) for t in schema.node_types}
+        )
+        self.layers = ModuleList(
+            MagnnLayer(hidden_dim, self.metapaths, num_heads, attention_dim, rng, dropout)
+            for _ in range(num_layers)
+        )
+
+    def compile(self, graph: HeteroGraph) -> MagnnGraph:
+        instances = [
+            enumerate_instances(graph, mp, max_instances_per_node=self.max_instances_per_node)
+            for mp in self.metapaths
+        ]
+        # Map undirected node pairs back to original edge ids for masking.
+        src, dst, _ = graph.edges()
+        pair_to_edge: Dict[tuple, int] = {}
+        for e, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+            pair_to_edge.setdefault((s, d), e)
+            pair_to_edge.setdefault((d, s), e)
+        instance_edges: List[np.ndarray] = []
+        for inst in instances:
+            if inst.num_instances == 0:
+                instance_edges.append(np.empty((0, inst.metapath.length - 1), dtype=np.int64))
+                continue
+            hop_ids = np.zeros((inst.num_instances, inst.metapath.length - 1), dtype=np.int64)
+            for row, path in enumerate(inst.paths.tolist()):
+                for j in range(len(path) - 1):
+                    hop_ids[row, j] = pair_to_edge[(path[j], path[j + 1])]
+            instance_edges.append(hop_ids)
+        return MagnnGraph(
+            graph.num_nodes, graph.num_edges, graph.node_types, instances, instance_edges
+        )
+
+    def mask_size(self, compiled: MagnnGraph) -> int:
+        return compiled.num_edges
+
+    def forward(self, compiled: MagnnGraph, features: Tensor, edge_mask=None) -> Tensor:
+        # Type-specific content transformation (stage 1).
+        h: Optional[Tensor] = None
+        for type_name in self.schema.node_types:
+            type_id = self.schema.node_type_id(type_name)
+            mask = compiled.node_types == type_id
+            if not mask.any():
+                continue
+            projected = self.type_transform[type_name](features)
+            masked = projected * Tensor(mask.astype(np.float32)[:, None])
+            h = masked if h is None else h + masked
+        assert h is not None, "graph has no nodes"
+        for layer in self.layers:
+            h = layer(compiled, h, self.schema, edge_mask)
+        if self.normalize_output:
+            h = F.l2_normalize(h, axis=1)
+        return h

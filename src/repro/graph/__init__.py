@@ -1,0 +1,99 @@
+"""Heterogeneous property graphs — the substrate replacing DGL
+(see DESIGN.md §2): typed graphs, metapaths, traversal, batching, the
+inverted surface-form index, and the similarity measures of Section 3.2.
+"""
+
+from .batch import batch_graphs, unbatch_node_ids  # noqa: F401
+from .hetero import BidirectedView, HeteroGraph, neighbor_label_multiset  # noqa: F401
+from .index import InvertedIndex, derive_acronym, normalize_surface  # noqa: F401
+from .io import (  # noqa: F401
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    read_edge_list,
+    save_graph,
+    write_edge_list,
+    write_node_list,
+)
+from .kernels import (  # noqa: F401
+    STRUCTURAL_METRICS,
+    HungarianGedSimilarity,
+    McsSimilarity,
+    WeisfeilerLehmanKernel,
+    hungarian_ged_similarity,
+    make_structural_metric,
+    mcs_similarity,
+)
+from .metapath import (  # noqa: F401
+    Metapath,
+    MetapathInstances,
+    default_metapaths,
+    enumerate_instances,
+)
+from .schema import (  # noqa: F401
+    GraphSchema,
+    Relation,
+    extended_medical_schema,
+    medical_schema,
+)
+from .similarity import (  # noqa: F401
+    StructuralSimilarity,
+    cosine_similarity_matrix,
+    cosine_similarity_vector,
+    jaccard_neighbors,
+    normalized_ged_similarity,
+    star_edit_distance,
+)
+from .traversal import (  # noqa: F401
+    connected_components,
+    ego_subgraph,
+    induced_subgraph,
+    k_hop_nodes,
+    random_walk,
+    shortest_path_length,
+)
+
+__all__ = [
+    "GraphSchema",
+    "Relation",
+    "medical_schema",
+    "extended_medical_schema",
+    "HeteroGraph",
+    "BidirectedView",
+    "neighbor_label_multiset",
+    "Metapath",
+    "MetapathInstances",
+    "enumerate_instances",
+    "default_metapaths",
+    "k_hop_nodes",
+    "ego_subgraph",
+    "induced_subgraph",
+    "connected_components",
+    "shortest_path_length",
+    "random_walk",
+    "batch_graphs",
+    "unbatch_node_ids",
+    "InvertedIndex",
+    "normalize_surface",
+    "derive_acronym",
+    "star_edit_distance",
+    "normalized_ged_similarity",
+    "StructuralSimilarity",
+    "cosine_similarity_matrix",
+    "cosine_similarity_vector",
+    "jaccard_neighbors",
+    "mcs_similarity",
+    "McsSimilarity",
+    "WeisfeilerLehmanKernel",
+    "hungarian_ged_similarity",
+    "HungarianGedSimilarity",
+    "make_structural_metric",
+    "STRUCTURAL_METRICS",
+    "save_graph",
+    "load_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_node_list",
+    "write_edge_list",
+    "read_edge_list",
+]

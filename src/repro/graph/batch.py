@@ -1,0 +1,52 @@
+"""Disjoint-union batching of heterogeneous graphs.
+
+The Siamese trainer embeds ``G_ref`` and a mini-batch of query graphs in a
+single forward pass by batching them into one disjoint union; the returned
+offsets map each input graph's node ids into the union.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .hetero import HeteroGraph
+
+
+def batch_graphs(graphs: Sequence[HeteroGraph]) -> Tuple[HeteroGraph, List[int]]:
+    """Disjoint union of graphs sharing a schema.
+
+    Returns ``(union, offsets)`` where node ``i`` of input graph ``g``
+    becomes node ``offsets[g] + i`` of the union.  Features are stacked;
+    if any input lacks features, the union has none.
+    """
+    if not graphs:
+        raise ValueError("batch_graphs needs at least one graph")
+    schema = graphs[0].schema
+    for g in graphs[1:]:
+        if g.schema is not schema and (
+            g.schema.node_types != schema.node_types
+            or [str(r) for r in g.schema.relations] != [str(r) for r in schema.relations]
+        ):
+            raise ValueError("all graphs in a batch must share one schema")
+
+    union = HeteroGraph(schema)
+    offsets: List[int] = []
+    for g in graphs:
+        offset = union.num_nodes
+        offsets.append(offset)
+        for v in range(g.num_nodes):
+            union.add_node(g.node_type_name(v), g.node_name(v), aliases=g.node_aliases(v))
+        src, dst, et = g.edges()
+        for s, d, r in zip(src.tolist(), dst.tolist(), et.tolist()):
+            union.add_edge(s + offset, d + offset, r)
+
+    if all(g.features is not None for g in graphs):
+        union.set_features(np.vstack([g.features for g in graphs]))
+    return union, offsets
+
+
+def unbatch_node_ids(offsets: Sequence[int], graph_index: int, local_ids) -> np.ndarray:
+    """Map local node ids of input graph ``graph_index`` into union ids."""
+    return np.atleast_1d(np.asarray(local_ids, dtype=np.int64)) + offsets[graph_index]

@@ -1,0 +1,100 @@
+"""Inverted index over KB entity surface forms (Section 3.1).
+
+The paper matches entity mentions against "an inverted index of the
+entities in G_ref [that] includes not only the exact matches of these
+entities, but also synonyms, acronyms, and abbreviations".  This module
+implements exactly that: every node is indexed under its canonical name,
+its stored aliases, and derived acronym keys; lookups return *all*
+candidate nodes, so genuinely ambiguous surface forms (the paper's "ARF")
+yield multiple candidates and stay unresolved for the GNN to disambiguate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from .hetero import HeteroGraph
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_surface(text: str) -> str:
+    """Canonical key for a surface form: lowercase alphanumeric words."""
+    return " ".join(_WORD_RE.findall(text.lower()))
+
+
+def derive_acronym(name: str) -> str:
+    """First letters of the words of a multi-word name ("acute renal
+    failure" -> "arf"); empty for single-word names."""
+    words = _WORD_RE.findall(name.lower())
+    if len(words) < 2:
+        return ""
+    return "".join(w[0] for w in words)
+
+
+class InvertedIndex:
+    """Surface form -> candidate KB node ids."""
+
+    def __init__(self, graph: HeteroGraph, index_acronyms: bool = True):
+        self.graph = graph
+        self._exact: Dict[str, List[int]] = {}
+        self._acronyms: Dict[str, List[int]] = {}
+        for node in range(graph.num_nodes):
+            self._add_key(self._exact, normalize_surface(graph.node_name(node)), node)
+            for alias in graph.node_aliases(node):
+                self._add_key(self._exact, normalize_surface(alias), node)
+            if index_acronyms:
+                acronym = derive_acronym(graph.node_name(node))
+                if acronym:
+                    self._add_key(self._acronyms, acronym, node)
+
+    @staticmethod
+    def _add_key(table: Dict[str, List[int]], key: str, node: int) -> None:
+        if not key:
+            return
+        bucket = table.setdefault(key, [])
+        if node not in bucket:
+            bucket.append(node)
+
+    # ------------------------------------------------------------------
+    def lookup(self, surface: str) -> List[int]:
+        """All candidate nodes for a surface form: the union of exact,
+        alias, and acronym matches (Section 3.1 — the index "includes not
+        only the exact matches ... but also synonyms, acronyms, and
+        abbreviations").  The paper's "ARF" must return *both* expansions
+        even when one stores "ARF" as an explicit alias.
+        """
+        key = normalize_surface(surface)
+        out = list(self._exact.get(key, []))
+        compact = key.replace(" ", "")
+        for node in self._acronyms.get(compact, []):
+            if node not in out:
+                out.append(node)
+        return out
+
+    def lookup_unique(self, surface: str) -> int | None:
+        """The node id when the surface form is unambiguous, else None."""
+        candidates = self.lookup(surface)
+        return candidates[0] if len(candidates) == 1 else None
+
+    def is_ambiguous(self, surface: str) -> bool:
+        return len(self.lookup(surface)) > 1
+
+    def known_surfaces(self) -> List[str]:
+        return sorted(self._exact)
+
+    def acronym_surfaces(self) -> List[str]:
+        """The derived acronym keys ("arf", "cah", ...) — where most of
+        the KB's genuine surface collisions live."""
+        return sorted(self._acronyms)
+
+    def candidate_types(self, surface: str) -> List[str]:
+        """Distinct node type names among a surface form's candidates —
+        the entity-type inference step of Section 3.1 (a mention matching
+        several entities is tagged with *all* their types)."""
+        types = {self.graph.node_type_name(c) for c in self.lookup(surface)}
+        return sorted(types)
+
+    def __len__(self) -> int:
+        return len(self._exact)

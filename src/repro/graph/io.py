@@ -1,0 +1,122 @@
+"""Node-list / edge-list serialisation.
+
+Section 2.2: the GNNs "consume a node list and an edge list ... In a node
+list, each row contains a node id, its attribute features, and its type.
+In an edge list, each row has a source node id (head), a destination node
+id (tail), and the edge type."  This module writes and reads exactly that
+layout (TSV) plus a JSON round trip that also preserves aliases and the
+schema, so KBs can be shipped between processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .hetero import HeteroGraph
+from .schema import GraphSchema, Relation
+
+
+def write_node_list(graph: HeteroGraph, path: str) -> None:
+    """TSV: node_id, type, name, features (comma-joined, may be empty)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("node_id\ttype\tname\tfeatures\n")
+        for v in range(graph.num_nodes):
+            feats = ""
+            if graph.features is not None:
+                feats = ",".join(f"{x:.6g}" for x in graph.features[v])
+            fh.write(f"{v}\t{graph.node_type_name(v)}\t{graph.node_name(v)}\t{feats}\n")
+
+
+def write_edge_list(graph: HeteroGraph, path: str) -> None:
+    """TSV: head, tail, edge_type (relation display name with signature)."""
+    src, dst, et = graph.edges()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("head\ttail\tedge_type\n")
+        for s, d, r in zip(src.tolist(), dst.tolist(), et.tolist()):
+            fh.write(f"{s}\t{d}\t{graph.schema.relation(r).name}\n")
+
+
+def graph_to_dict(graph: HeteroGraph) -> dict:
+    """JSON-serialisable dict capturing schema, nodes, aliases and edges."""
+    src, dst, et = graph.edges()
+    return {
+        "schema": {
+            "node_types": graph.schema.node_types,
+            "relations": [
+                [r.name, r.src_type, r.dst_type] for r in graph.schema.relations
+            ],
+        },
+        "nodes": [
+            {
+                "id": v,
+                "type": graph.node_type_name(v),
+                "name": graph.node_name(v),
+                "aliases": list(graph.node_aliases(v)),
+            }
+            for v in range(graph.num_nodes)
+        ],
+        "edges": [
+            [int(s), int(d), int(r)]
+            for s, d, r in zip(src.tolist(), dst.tolist(), et.tolist())
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> HeteroGraph:
+    schema = GraphSchema(
+        payload["schema"]["node_types"],
+        [Relation(*entry) for entry in payload["schema"]["relations"]],
+    )
+    graph = HeteroGraph(schema)
+    for node in payload["nodes"]:
+        graph.add_node(node["type"], node["name"], aliases=node.get("aliases", ()))
+    for s, d, r in payload["edges"]:
+        graph.add_edge(s, d, r)
+    return graph
+
+
+def save_graph(graph: HeteroGraph, path: str) -> None:
+    """Persist a graph (and its features, when present) to ``path``.
+
+    ``path`` is a JSON file; features go to a sibling ``.npy`` file.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(graph_to_dict(graph), fh)
+    if graph.features is not None:
+        np.save(_features_path(path), graph.features)
+
+
+def load_graph(path: str) -> HeteroGraph:
+    with open(path, encoding="utf-8") as fh:
+        graph = graph_from_dict(json.load(fh))
+    features_path = _features_path(path)
+    if os.path.exists(features_path):
+        graph.set_features(np.load(features_path))
+    return graph
+
+
+def _features_path(path: str) -> str:
+    stem, _ = os.path.splitext(path)
+    return stem + ".features.npy"
+
+
+def read_edge_list(path: str, schema: GraphSchema) -> Tuple[np.ndarray, np.ndarray, list]:
+    """Parse a TSV edge list back into arrays (names resolved lazily —
+    relation display names may be ambiguous without node types, so this
+    returns the raw name column for the caller to resolve)."""
+    heads, tails, names = [], [], []
+    with open(path, encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("head"):
+            raise ValueError(f"not an edge list: {path}")
+        for line in fh:
+            h, t, name = line.rstrip("\n").split("\t")
+            heads.append(int(h))
+            tails.append(int(t))
+            names.append(name)
+    return np.asarray(heads, dtype=np.int64), np.asarray(tails, dtype=np.int64), names

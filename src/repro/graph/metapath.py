@@ -1,0 +1,220 @@
+"""Metapaths and metapath-instance enumeration (Definitions 2.3 / 2.4).
+
+A metapath ``A1 -R1-> A2 -R2-> ... -> Am+1`` is a sequence of node types;
+its *instances* in a graph are concrete node paths whose types match.
+MAGNN consumes instances as integer matrices ``[n_instances, path_len]``
+grouped by target node, enumerated over the *undirected* view of the graph
+(the paper's example "Metformin-Diarrhea-Fever" traverses a CAUSE edge
+forward and a HAS edge forward from the middle node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .hetero import HeteroGraph
+from .schema import GraphSchema
+
+
+@dataclass(frozen=True)
+class Metapath:
+    """A node-type sequence, e.g. ``("Drug", "AdverseEffect", "Finding")``.
+
+    The symmetric abbreviation (``DAF``) is derived from type initials.
+    """
+
+    node_types: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.node_types) < 2:
+            raise ValueError("a metapath needs at least two node types")
+
+    @property
+    def length(self) -> int:
+        return len(self.node_types)
+
+    @property
+    def abbreviation(self) -> str:
+        return "".join(t[0] for t in self.node_types)
+
+    @property
+    def target_type(self) -> str:
+        """MAGNN aggregates instances *into* the first node type."""
+        return self.node_types[0]
+
+    def type_ids(self, schema: GraphSchema) -> np.ndarray:
+        return np.asarray([schema.node_type_id(t) for t in self.node_types], dtype=np.int64)
+
+    def __str__(self) -> str:
+        return "-".join(self.node_types)
+
+
+@dataclass
+class MetapathInstances:
+    """All instances of one metapath, grouped by target node.
+
+    ``paths`` is ``[n_instances, path_len]`` (column 0 = target node);
+    ``targets`` is ``paths[:, 0]`` for convenience.
+    """
+
+    metapath: Metapath
+    paths: np.ndarray
+    targets: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        if self.paths.ndim != 2 or self.paths.shape[1] != self.metapath.length:
+            raise ValueError(
+                f"paths shape {self.paths.shape} does not match metapath "
+                f"length {self.metapath.length}"
+            )
+        self.targets = self.paths[:, 0]
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.paths)
+
+
+def _undirected_typed_adjacency(graph: HeteroGraph) -> Dict[int, Dict[int, List[int]]]:
+    """node -> {neighbor type id -> [neighbors]} over the undirected view."""
+    adjacency: Dict[int, Dict[int, List[int]]] = {v: {} for v in range(graph.num_nodes)}
+    src, dst, _ = graph.edges()
+    types = graph.node_types
+    for s, d in zip(src.tolist(), dst.tolist()):
+        adjacency[s].setdefault(int(types[d]), []).append(d)
+        adjacency[d].setdefault(int(types[s]), []).append(s)
+    return adjacency
+
+
+def enumerate_instances(
+    graph: HeteroGraph,
+    metapath: Metapath,
+    max_instances_per_node: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    allow_revisit: bool = False,
+) -> MetapathInstances:
+    """Enumerate metapath instances, capped per target node.
+
+    The cap bounds the combinatorial blow-up on dense KBs; when a node has
+    more instances than the cap, a deterministic (or ``rng``-driven) subset
+    is kept — mirroring DGL's sampled metapath loaders.
+    """
+    type_ids = metapath.type_ids(graph.schema)
+    adjacency = _undirected_typed_adjacency(graph)
+    start_nodes = np.nonzero(graph.node_types == type_ids[0])[0]
+
+    all_paths: List[List[int]] = []
+    for start in start_nodes.tolist():
+        partial: List[List[int]] = [[start]]
+        for depth in range(1, len(type_ids)):
+            wanted = int(type_ids[depth])
+            extended: List[List[int]] = []
+            for path in partial:
+                for nbr in adjacency[path[-1]].get(wanted, ()):
+                    if not allow_revisit and nbr in path:
+                        continue
+                    extended.append(path + [nbr])
+                if len(extended) > 4 * max_instances_per_node:
+                    break  # already far beyond the cap; stop expanding
+            partial = extended
+            if not partial:
+                break
+        if not partial:
+            continue
+        if len(partial) > max_instances_per_node:
+            if rng is not None:
+                chosen = rng.choice(len(partial), size=max_instances_per_node, replace=False)
+                partial = [partial[i] for i in sorted(chosen)]
+            else:
+                partial = partial[:max_instances_per_node]
+        all_paths.extend(partial)
+
+    if all_paths:
+        paths = np.asarray(all_paths, dtype=np.int64)
+    else:
+        paths = np.empty((0, len(type_ids)), dtype=np.int64)
+    return MetapathInstances(metapath, paths)
+
+
+def select_metapaths(
+    graph: HeteroGraph,
+    max_metapaths: int = 12,
+    max_length: int = 3,
+) -> List[Metapath]:
+    """Data-driven metapath selection.
+
+    The MAGNN paper hand-curates a few metapaths per dataset; this helper
+    derives an equivalent set from the KB itself.  Two constraints drive
+    the selection:
+
+    1. **Query-graph coverage** — query graphs are 1-hop stars around the
+       ambiguous mention, so *every* observed type pair must appear as a
+       length-2 metapath; otherwise a mention whose only context node has
+       the missing partner type would receive no metapath context at all.
+    2. **KB-side richness** — remaining budget goes to length-3 metapaths
+       ranked by edge support (bottleneck ``min(#AB, #BC)``), the
+       composite relations MAGNN exploits on the KB side.
+
+    ``max_metapaths`` caps the total; pairs are never dropped in favour
+    of triples.
+    """
+    schema = graph.schema
+    src, dst, _ = graph.edges()
+    types = graph.node_types
+    pair_counts: Dict[Tuple[str, str], int] = {}
+    for s, d in zip(types[src].tolist(), types[dst].tolist()):
+        a, b = schema.node_type_name(s), schema.node_type_name(d)
+        pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+        pair_counts[(b, a)] = pair_counts.get((b, a), 0) + 1
+
+    pairs = sorted(pair_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    selected: List[Metapath] = [Metapath(p) for p, _ in pairs[:max_metapaths]]
+
+    if max_length >= 3 and len(selected) < max_metapaths:
+        triples: List[Tuple[int, Metapath]] = []
+        for (a, b), count_ab in pair_counts.items():
+            for (b2, c), count_bc in pair_counts.items():
+                if b2 == b:
+                    triples.append((min(count_ab, count_bc), Metapath((a, b, c))))
+        triples.sort(key=lambda pair: (-pair[0], str(pair[1])))
+        for _, mp in triples:
+            if len(selected) >= max_metapaths:
+                break
+            if mp not in selected:
+                selected.append(mp)
+    return selected
+
+
+def default_metapaths(schema: GraphSchema, max_length: int = 3) -> List[Metapath]:
+    """Derive a metapath set from the schema's relation signatures.
+
+    Every relation contributes its 2-type path; every pair of composable
+    relations contributes a 3-type path (``A-B-C`` where ``A-B`` and
+    ``B-C`` are declared signatures, in either direction).  This mirrors
+    the paper's practice of using the KB schema's composite relations
+    (e.g. Drug-AdverseEffect-Finding) without hand tuning per dataset.
+    """
+    pairs = set()
+    for rel in schema.relations:
+        pairs.add((rel.src_type, rel.dst_type))
+        pairs.add((rel.dst_type, rel.src_type))
+
+    metapaths: List[Metapath] = []
+    seen = set()
+    for a, b in sorted(pairs):
+        mp = (a, b)
+        if mp not in seen:
+            seen.add(mp)
+            metapaths.append(Metapath(mp))
+    if max_length >= 3:
+        for a, b in sorted(pairs):
+            for b2, c in sorted(pairs):
+                if b2 != b:
+                    continue
+                mp = (a, b, c)
+                if mp not in seen:
+                    seen.add(mp)
+                    metapaths.append(Metapath(mp))
+    return metapaths

@@ -1,0 +1,156 @@
+"""Graph schemas for heterogeneous property graphs (Definition 2.1).
+
+A schema declares the node types ``T`` and the edge types ``R`` together
+with their signatures (source node type, destination node type).  The
+medical toy schema of Figure 1 — Drug, AdverseEffect, Symptom, Finding
+with TREAT / CAUSE / INDICATE / HAS — ships as :func:`medical_schema` and
+is the default vocabulary of the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed edge declaration: ``src_type --name--> dst_type``."""
+
+    name: str
+    src_type: str
+    dst_type: str
+
+    def __str__(self) -> str:
+        return f"{self.src_type}-[{self.name}]->{self.dst_type}"
+
+
+class GraphSchema:
+    """Node-type and edge-type vocabulary of a heterogeneous graph.
+
+    Edge types are identified by their *relation id* (index into
+    ``relations``); two relations may share a display name with different
+    signatures and still get distinct ids, which is what R-GCN's
+    relation-specific weights operate over.
+    """
+
+    def __init__(self, node_types: Sequence[str], relations: Sequence[Relation]):
+        if len(set(node_types)) != len(node_types):
+            raise ValueError("duplicate node type names")
+        self.node_types: List[str] = list(node_types)
+        self.relations: List[Relation] = list(relations)
+        self._node_type_ids: Dict[str, int] = {t: i for i, t in enumerate(self.node_types)}
+        self._relation_ids: Dict[Tuple[str, str, str], int] = {}
+        for i, rel in enumerate(self.relations):
+            if rel.src_type not in self._node_type_ids:
+                raise ValueError(f"unknown src type {rel.src_type!r} in {rel}")
+            if rel.dst_type not in self._node_type_ids:
+                raise ValueError(f"unknown dst type {rel.dst_type!r} in {rel}")
+            key = (rel.name, rel.src_type, rel.dst_type)
+            if key in self._relation_ids:
+                raise ValueError(f"duplicate relation {rel}")
+            self._relation_ids[key] = i
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def num_node_types(self) -> int:
+        return len(self.node_types)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    # -- lookups --------------------------------------------------------
+    def node_type_id(self, name: str) -> int:
+        try:
+            return self._node_type_ids[name]
+        except KeyError:
+            raise KeyError(f"unknown node type {name!r}; known: {self.node_types}") from None
+
+    def node_type_name(self, type_id: int) -> str:
+        return self.node_types[type_id]
+
+    def relation_id(self, name: str, src_type: str, dst_type: str) -> int:
+        key = (name, src_type, dst_type)
+        try:
+            return self._relation_ids[key]
+        except KeyError:
+            raise KeyError(f"unknown relation {src_type}-[{name}]->{dst_type}") from None
+
+    def relation(self, relation_id: int) -> Relation:
+        return self.relations[relation_id]
+
+    def relation_ids_by_name(self, name: str) -> List[int]:
+        return [i for i, r in enumerate(self.relations) if r.name == name]
+
+    # -- Algorithm 1 support --------------------------------------------
+    def relations_touching(self, node_type: str) -> List[int]:
+        """Relation ids whose signature involves ``node_type`` on either
+        side — ``G_ref.getEdgeTypes(et)`` in Algorithm 1 (line 13)."""
+        return [
+            i
+            for i, r in enumerate(self.relations)
+            if r.src_type == node_type or r.dst_type == node_type
+        ]
+
+    def partner_types(self, node_type: str) -> Dict[str, int]:
+        """Map each node type reachable from ``node_type`` through one
+        relation to that relation's id — Algorithm 1 lines 14/19.
+
+        When several relations connect the same pair of types the first
+        declared relation wins (deterministic).
+        """
+        partners: Dict[str, int] = {}
+        for i, r in enumerate(self.relations):
+            if r.src_type == node_type and r.dst_type not in partners:
+                partners[r.dst_type] = i
+            elif r.dst_type == node_type and r.src_type not in partners:
+                partners[r.src_type] = i
+        return partners
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSchema(node_types={self.node_types}, "
+            f"relations={[str(r) for r in self.relations]})"
+        )
+
+
+def medical_schema() -> GraphSchema:
+    """The Figure 1 toy schema used throughout the paper's examples."""
+    node_types = ["Drug", "AdverseEffect", "Symptom", "Finding"]
+    relations = [
+        Relation("TREAT", "Drug", "Symptom"),
+        Relation("CAUSE", "Drug", "AdverseEffect"),
+        Relation("INDICATE", "Symptom", "Finding"),
+        Relation("HAS", "AdverseEffect", "Finding"),
+    ]
+    return GraphSchema(node_types, relations)
+
+
+def extended_medical_schema() -> GraphSchema:
+    """A richer schema for the larger synthetic KBs (MDX / MIMIC-III
+    analogues): diseases, procedures and labs added to the toy types."""
+    node_types = [
+        "Drug",
+        "Disease",
+        "AdverseEffect",
+        "Symptom",
+        "Finding",
+        "Procedure",
+        "LabTest",
+    ]
+    relations = [
+        Relation("TREAT", "Drug", "Disease"),
+        Relation("TREAT", "Drug", "Symptom"),
+        Relation("CAUSE", "Drug", "AdverseEffect"),
+        Relation("CAUSE", "Disease", "Symptom"),
+        Relation("INDICATE", "Symptom", "Finding"),
+        Relation("INDICATE", "LabTest", "Disease"),
+        Relation("HAS", "AdverseEffect", "Finding"),
+        Relation("HAS", "Disease", "Finding"),
+        Relation("DIAGNOSED_BY", "Disease", "Procedure"),
+        Relation("MEASURES", "LabTest", "Finding"),
+        Relation("COMPLICATES", "Disease", "Disease"),
+        Relation("CONTRAINDICATES", "Drug", "Disease"),
+    ]
+    return GraphSchema(node_types, relations)

@@ -1,0 +1,55 @@
+"""Text substrate: tokenisation, simulated clinical NER, surface-form
+variants, the hashing embedder that replaces BERT features, and the
+paper's ground-truth snippet format (see DESIGN.md §2).
+"""
+
+from .corpus import (  # noqa: F401
+    MentionAnnotation,
+    Snippet,
+    load_snippets,
+    mint_cui,
+    parse_cui,
+    save_snippets,
+    validate_snippet,
+)
+from .embedder import HashingNgramEmbedder, node_features_for_graph  # noqa: F401
+from .ner import DictionaryNER, Mention, link_unambiguous  # noqa: F401
+from .tokenize import Token, span_text, tokenize  # noqa: F401
+from .variants import (  # noqa: F401
+    VariantKind,
+    applicable_kinds,
+    classify_discrepancy,
+    edit_distance,
+    generate_variant,
+    make_abbreviation,
+    make_acronym,
+    make_simplification,
+    make_typo,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "span_text",
+    "VariantKind",
+    "generate_variant",
+    "applicable_kinds",
+    "make_acronym",
+    "make_abbreviation",
+    "make_typo",
+    "make_simplification",
+    "classify_discrepancy",
+    "edit_distance",
+    "HashingNgramEmbedder",
+    "node_features_for_graph",
+    "DictionaryNER",
+    "Mention",
+    "link_unambiguous",
+    "Snippet",
+    "MentionAnnotation",
+    "mint_cui",
+    "parse_cui",
+    "save_snippets",
+    "load_snippets",
+    "validate_snippet",
+]

@@ -1,0 +1,132 @@
+"""Snippet corpora and the paper's ground-truth annotation format.
+
+Section 4.1 shows the public-dataset ground truth layout::
+
+    {"Text": "A common human skin tumour is caused by activating mutations.",
+     "Mentions": [{"mention": "skin tumor", "start_offset": 15,
+                   "end_offset": 26, "category": "Disease",
+                   "link_id": "C0037286"}]}
+
+This module models snippets and annotations with that exact JSON round
+trip.  ``link_id`` carries a concept identifier string; the synthetic
+datasets mint UMLS-style CUIs ("C" + 7 digits) per KB node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class MentionAnnotation:
+    """One gold mention: its span, category, and the linked concept id."""
+
+    mention: str
+    start_offset: int
+    end_offset: int
+    category: str
+    link_id: str
+
+    def to_dict(self) -> dict:
+        return {
+            "mention": self.mention,
+            "start_offset": self.start_offset,
+            "end_offset": self.end_offset,
+            "category": self.category,
+            "link_id": self.link_id,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "MentionAnnotation":
+        return MentionAnnotation(
+            mention=payload["mention"],
+            start_offset=int(payload["start_offset"]),
+            end_offset=int(payload["end_offset"]),
+            category=payload["category"],
+            link_id=payload["link_id"],
+        )
+
+
+@dataclass
+class Snippet:
+    """A text snippet with its gold mention annotations.
+
+    Per Section 4.1 each snippet carries exactly one mention *to be
+    disambiguated* (``ambiguous_index``); the remaining annotations are
+    context mentions the query-graph builder may resolve directly.
+    """
+
+    text: str
+    mentions: List[MentionAnnotation] = field(default_factory=list)
+    ambiguous_index: int = 0
+
+    @property
+    def ambiguous_mention(self) -> MentionAnnotation:
+        return self.mentions[self.ambiguous_index]
+
+    def to_dict(self) -> dict:
+        return {
+            "Text": self.text,
+            "Mentions": [m.to_dict() for m in self.mentions],
+            "AmbiguousIndex": self.ambiguous_index,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Snippet":
+        return Snippet(
+            text=payload["Text"],
+            mentions=[MentionAnnotation.from_dict(m) for m in payload["Mentions"]],
+            ambiguous_index=int(payload.get("AmbiguousIndex", 0)),
+        )
+
+
+def mint_cui(node_id: int) -> str:
+    """UMLS-style concept unique identifier for a synthetic KB node."""
+    return f"C{node_id:07d}"
+
+
+def parse_cui(link_id: str) -> int:
+    if not link_id.startswith("C"):
+        raise ValueError(f"not a synthetic CUI: {link_id!r}")
+    return int(link_id[1:])
+
+
+def save_snippets(snippets: Sequence[Snippet], path: str) -> None:
+    """One JSON object per line, in the paper's ground-truth layout."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for snippet in snippets:
+            fh.write(json.dumps(snippet.to_dict()) + "\n")
+
+
+def load_snippets(path: str) -> List[Snippet]:
+    snippets: List[Snippet] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                snippets.append(Snippet.from_dict(json.loads(line)))
+    return snippets
+
+
+def validate_snippet(snippet: Snippet) -> List[str]:
+    """Consistency checks: spans inside the text, mention text matches the
+    span, ambiguous index in range.  Returns a list of problems (empty
+    when valid) — used by dataset tests and failure-injection tests."""
+    problems: List[str] = []
+    if not snippet.mentions:
+        problems.append("snippet has no mentions")
+        return problems
+    if not (0 <= snippet.ambiguous_index < len(snippet.mentions)):
+        problems.append(f"ambiguous_index {snippet.ambiguous_index} out of range")
+    for i, m in enumerate(snippet.mentions):
+        if not (0 <= m.start_offset < m.end_offset <= len(snippet.text)):
+            problems.append(f"mention {i} span [{m.start_offset}, {m.end_offset}) invalid")
+            continue
+        covered = snippet.text[m.start_offset : m.end_offset]
+        if covered != m.mention:
+            problems.append(
+                f"mention {i} text {m.mention!r} != span text {covered!r}"
+            )
+    return problems

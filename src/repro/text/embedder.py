@@ -1,0 +1,108 @@
+"""Deterministic character-n-gram hashing embedder.
+
+Stands in for the BERT/BioBERT initial node features of the paper
+(Section 3.2: "initial node embeddings can be obtained using language
+models such as BERT on each node").  The property the paper actually
+relies on is that *lexically similar strings receive similar vectors* —
+that is what makes ``sim_se`` rank "malignant hyperthermia" close to
+"malignant hyperpyrexia".  Feature hashing over character n-grams (plus
+whole-word hashes) delivers exactly that, offline, with no model weights:
+two strings sharing most of their trigrams land in mostly the same
+buckets and get high cosine similarity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def _stable_hash(data: str) -> int:
+    """Process-independent 64-bit hash (python's builtin hash is salted)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingNgramEmbedder:
+    """Maps strings to fixed-dimension unit vectors via feature hashing.
+
+    Character n-grams of the padded lowercase string and whole words are
+    each hashed to a (bucket, sign) pair and accumulated; the result is
+    L2-normalised.  Deterministic across processes and runs.
+    """
+
+    def __init__(
+        self,
+        dim: int = 128,
+        ngram_range: tuple = (3, 5),
+        use_words: bool = True,
+        seed: int = 0x5EED,
+    ):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        lo, hi = ngram_range
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad ngram_range {ngram_range}")
+        self.dim = dim
+        self.ngram_range = (lo, hi)
+        self.use_words = use_words
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _features(self, text: str) -> List[str]:
+        normalized = " ".join(text.lower().split())
+        padded = f"<{normalized}>"
+        lo, hi = self.ngram_range
+        feats: List[str] = []
+        for n in range(lo, hi + 1):
+            if len(padded) < n:
+                continue
+            feats.extend(padded[i : i + n] for i in range(len(padded) - n + 1))
+        if self.use_words:
+            feats.extend(f"w:{w}" for w in normalized.split())
+        return feats
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one string into a unit vector of ``self.dim`` floats."""
+        vec = np.zeros(self.dim, dtype=np.float32)
+        for feat in self._features(text):
+            h = _stable_hash(f"{self.seed}:{feat}")
+            bucket = h % self.dim
+            sign = 1.0 if (h >> 63) & 1 else -1.0
+            vec[bucket] += sign
+        norm = float(np.linalg.norm(vec))
+        if norm > 0:
+            vec /= norm
+        return vec
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many strings into an ``[n, dim]`` matrix."""
+        out = np.zeros((len(texts), self.dim), dtype=np.float32)
+        cache: dict[str, np.ndarray] = {}
+        for i, text in enumerate(texts):
+            if text not in cache:
+                cache[text] = self.embed(text)
+            out[i] = cache[text]
+        return out
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity of two strings' embeddings."""
+        return float(self.embed(a) @ self.embed(b))
+
+
+def node_features_for_graph(graph, embedder: HashingNgramEmbedder) -> np.ndarray:
+    """Initial features for every node: the embedding of its name, with
+    its node type hashed in as a weak extra signal (mirrors the paper's
+    use of typed node attributes in the node list)."""
+    names = [graph.node_name(v) for v in range(graph.num_nodes)]
+    feats = embedder.embed_batch(names)
+    # Small additive type marker so identically named nodes of different
+    # types stay distinguishable, then re-normalise.
+    for v in range(graph.num_nodes):
+        h = _stable_hash(f"type:{graph.node_type_name(v)}") % embedder.dim
+        feats[v, h] += 0.25
+    norms = np.linalg.norm(feats, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return feats / norms

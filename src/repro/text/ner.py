@@ -1,0 +1,128 @@
+"""Simulated clinical NER (the BioBERT stage of Section 3.1).
+
+The paper uses a fine-tuned BioBERT model only to *extract entity
+mentions* from a snippet before graph construction.  This module provides
+the equivalent input stage offline: a greedy longest-match dictionary
+recogniser over the KB's inverted index (canonical names, synonyms,
+acronyms, abbreviations), which reproduces the behaviours the rest of the
+pipeline depends on:
+
+* multi-word mentions are found with character offsets,
+* known surface forms resolve to their candidate KB nodes,
+* ambiguous surface forms ("ARF") return multiple candidates,
+* unknown-but-entity-like tokens (capitalised/unmatched medical terms
+  registered by the caller) surface as unlinked mentions with a type
+  guess, which is what Algorithm 1 needs for its unknown-mention branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.hetero import HeteroGraph
+from ..graph.index import InvertedIndex, normalize_surface
+from .tokenize import Token, span_text, tokenize
+
+
+@dataclass
+class Mention:
+    """An extracted entity mention."""
+
+    surface: str
+    start: int
+    end: int
+    candidates: Tuple[int, ...] = ()
+    candidate_types: Tuple[str, ...] = ()
+    type_guess: Optional[str] = None
+
+    @property
+    def is_linked(self) -> bool:
+        """True when the index resolved the surface to exactly one node."""
+        return len(self.candidates) == 1
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return len(self.candidates) > 1
+
+    @property
+    def is_unknown(self) -> bool:
+        return len(self.candidates) == 0
+
+
+class DictionaryNER:
+    """Greedy longest-match entity recogniser over an inverted index."""
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        index: Optional[InvertedIndex] = None,
+        max_span_tokens: int = 6,
+        extra_vocabulary: Optional[Dict[str, str]] = None,
+    ):
+        self.graph = graph
+        self.index = index if index is not None else InvertedIndex(graph)
+        self.max_span_tokens = max_span_tokens
+        # surface -> type guess, for terms the caller knows are entities
+        # even though they are missing from the KB (unknown mentions).
+        self.extra_vocabulary: Dict[str, str] = {
+            normalize_surface(k): v for k, v in (extra_vocabulary or {}).items()
+        }
+
+    def register_surface(self, surface: str, type_guess: str) -> None:
+        """Teach the recogniser an out-of-KB surface form with a type
+        guess (the NER model's entity-type output in the paper)."""
+        self.extra_vocabulary[normalize_surface(surface)] = type_guess
+
+    # ------------------------------------------------------------------
+    def extract(self, text: str) -> List[Mention]:
+        """Greedy longest-match extraction, left to right, no overlaps."""
+        tokens = tokenize(text)
+        mentions: List[Mention] = []
+        i = 0
+        while i < len(tokens):
+            match = self._longest_match(text, tokens, i)
+            if match is None:
+                i += 1
+                continue
+            mention, consumed = match
+            mentions.append(mention)
+            i += consumed
+        return mentions
+
+    def _longest_match(
+        self, text: str, tokens: List[Token], start: int
+    ) -> Optional[Tuple[Mention, int]]:
+        limit = min(self.max_span_tokens, len(tokens) - start)
+        for width in range(limit, 0, -1):
+            surface = span_text(text, tokens, start, start + width)
+            key = normalize_surface(surface)
+            candidates = self.index.lookup(surface)
+            if candidates:
+                types = tuple(sorted({self.graph.node_type_name(c) for c in candidates}))
+                mention = Mention(
+                    surface=surface,
+                    start=tokens[start].start,
+                    end=tokens[start + width - 1].end,
+                    candidates=tuple(candidates),
+                    candidate_types=types,
+                    type_guess=types[0] if len(types) == 1 else None,
+                )
+                return mention, width
+            if key in self.extra_vocabulary:
+                mention = Mention(
+                    surface=surface,
+                    start=tokens[start].start,
+                    end=tokens[start + width - 1].end,
+                    candidates=(),
+                    candidate_types=(),
+                    type_guess=self.extra_vocabulary[key],
+                )
+                return mention, width
+        return None
+
+
+def link_unambiguous(mentions: Sequence[Mention]) -> Dict[str, int]:
+    """Surface -> node id for the mentions the index resolved uniquely
+    (the "matched entity mentions" EM_match of Algorithm 1)."""
+    return {m.surface: m.candidates[0] for m in mentions if m.is_linked}

@@ -1,0 +1,35 @@
+"""Word tokenisation with character offsets.
+
+The NER stage needs token spans that can be mapped back to character
+offsets, because the ground-truth annotation format of Section 4.1 records
+``start_offset``/``end_offset`` into the raw snippet text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z]+)?")
+
+
+@dataclass(frozen=True)
+class Token:
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into alphanumeric tokens with [start, end) offsets."""
+    return [Token(m.group(0), m.start(), m.end()) for m in _TOKEN_RE.finditer(text)]
+
+
+def span_text(text: str, tokens: List[Token], start_tok: int, end_tok: int) -> str:
+    """The raw text covered by tokens ``[start_tok, end_tok)``."""
+    return text[tokens[start_tok].start : tokens[end_tok - 1].end]

@@ -1,0 +1,214 @@
+"""Surface-form variant generators.
+
+The paper's motivating discrepancies between text snippets and KB entries
+are "acronyms, abbreviations, typos and colloquial terms" plus synonyms
+and simplifications (Sections 1 and 4.1).  The dataset synthesiser uses
+these generators to corrupt canonical entity names into realistic mention
+surface forms, labelled by discrepancy class so the evaluator can report
+per-class behaviour.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.index import normalize_surface
+
+# Qualifier words that a careless editor drops ("simplification").
+_QUALIFIERS = (
+    "acute",
+    "chronic",
+    "severe",
+    "mild",
+    "recurrent",
+    "primary",
+    "secondary",
+    "congenital",
+    "malignant",
+    "benign",
+)
+
+
+class VariantKind(str, Enum):
+    """Discrepancy classes between a mention and its KB entity."""
+
+    EXACT = "exact"
+    ACRONYM = "acronym"
+    ABBREVIATION = "abbreviation"
+    SYNONYM = "synonym"
+    TYPO = "typo"
+    SIMPLIFICATION = "simplification"
+
+
+def make_acronym(name: str) -> Optional[str]:
+    """"acute renal failure" -> "ARF". None for single-word names."""
+    words = normalize_surface(name).split()
+    if len(words) < 2:
+        return None
+    return "".join(w[0] for w in words).upper()
+
+
+def make_abbreviation(name: str, rng: np.random.Generator) -> Optional[str]:
+    """Truncate one multi-letter word to a 3-4 character prefix with a
+    period: "nephrotoxicity" -> "nephr."  None when nothing abbreviates."""
+    words = name.split()
+    eligible = [i for i, w in enumerate(words) if len(w) > 5]
+    if not eligible:
+        return None
+    i = int(rng.choice(eligible))
+    cut = int(rng.integers(3, 5))
+    out = list(words)
+    out[i] = words[i][:cut] + "."
+    return " ".join(out)
+
+
+def make_typo(name: str, rng: np.random.Generator) -> Optional[str]:
+    """One edit: adjacent transposition, deletion, or duplication."""
+    if len(name) < 4:
+        return None
+    chars = list(name)
+    # Pick a position inside a word (not a space) for a stable-looking typo.
+    positions = [i for i in range(1, len(chars) - 1) if chars[i] != " "]
+    if not positions:
+        return None
+    i = int(rng.choice(positions))
+    mode = int(rng.integers(0, 3))
+    if mode == 0 and chars[i + 1] != " ":  # transpose
+        chars[i], chars[i + 1] = chars[i + 1], chars[i]
+    elif mode == 1:  # delete
+        del chars[i]
+    else:  # duplicate
+        chars.insert(i, chars[i])
+    typo = "".join(chars)
+    return typo if typo != name else None
+
+
+def make_simplification(name: str) -> Optional[str]:
+    """Drop a leading qualifier: "chronic kidney disease" -> "kidney
+    disease".  None when the name has no qualifier to drop."""
+    words = name.split()
+    kept = [w for w in words if w.lower() not in _QUALIFIERS]
+    if len(kept) == len(words) or not kept:
+        return None
+    return " ".join(kept)
+
+
+def generate_variant(
+    name: str,
+    kind: VariantKind,
+    rng: np.random.Generator,
+    synonyms: tuple = (),
+) -> Optional[str]:
+    """Produce one surface variant of ``name`` of the requested ``kind``;
+    returns None when that kind does not apply to this name."""
+    if kind == VariantKind.EXACT:
+        return name
+    if kind == VariantKind.ACRONYM:
+        return make_acronym(name)
+    if kind == VariantKind.ABBREVIATION:
+        return make_abbreviation(name, rng)
+    if kind == VariantKind.TYPO:
+        return make_typo(name, rng)
+    if kind == VariantKind.SIMPLIFICATION:
+        return make_simplification(name)
+    if kind == VariantKind.SYNONYM:
+        if not synonyms:
+            return None
+        return str(rng.choice(list(synonyms)))
+    raise ValueError(f"unknown variant kind {kind}")
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (unit insert/delete/substitute costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,  # delete from a
+                    current[j - 1] + 1,  # insert into a
+                    previous[j - 1] + (ca != cb),  # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def classify_discrepancy(
+    canonical: str,
+    surface: str,
+    synonyms: tuple = (),
+    typo_threshold: int = 2,
+) -> Optional[VariantKind]:
+    """Infer the discrepancy class between a mention surface and its gold
+    entity's canonical name — the inverse of :func:`generate_variant`,
+    used by the per-class evaluation breakdown.
+
+    Checks run from most to least specific (an acronym is also far away
+    in edit distance; a typo is the catch-all for near-misses).  Returns
+    ``None`` when no class explains the surface.
+    """
+    norm_canonical = normalize_surface(canonical)
+    norm_surface = normalize_surface(surface)
+    if norm_surface == norm_canonical:
+        return VariantKind.EXACT
+    # Acronym outranks synonym: a stored alias that *is* the derived
+    # acronym ("ARF") presents the acronym-collision difficulty, not the
+    # synonym one.
+    acronym = make_acronym(canonical)
+    if acronym is not None and norm_surface == acronym.lower():
+        return VariantKind.ACRONYM
+    if any(norm_surface == normalize_surface(s) for s in synonyms):
+        return VariantKind.SYNONYM
+
+    surface_words = surface.split()
+    canonical_words = canonical.split()
+    if len(surface_words) == len(canonical_words):
+        # Abbreviation: every word matches except truncated "pref." forms.
+        abbreviated = 0
+        matched = True
+        for sw, cw in zip(surface_words, canonical_words):
+            if sw == cw:
+                continue
+            stem = sw[:-1]
+            if sw.endswith(".") and len(stem) >= 3 and cw.startswith(stem) and cw != stem:
+                abbreviated += 1
+            else:
+                matched = False
+                break
+        if matched and abbreviated:
+            return VariantKind.ABBREVIATION
+
+    kept = [w for w in canonical_words if w.lower() not in _QUALIFIERS]
+    if kept != canonical_words and norm_surface == normalize_surface(" ".join(kept)):
+        return VariantKind.SIMPLIFICATION
+
+    if edit_distance(norm_surface, norm_canonical) <= typo_threshold:
+        return VariantKind.TYPO
+    return None
+
+
+def applicable_kinds(name: str, synonyms: tuple = ()) -> List[VariantKind]:
+    """All discrepancy classes that can be generated for ``name``."""
+    kinds = [VariantKind.EXACT]
+    if make_acronym(name):
+        kinds.append(VariantKind.ACRONYM)
+    if any(len(w) > 5 for w in name.split()):
+        kinds.append(VariantKind.ABBREVIATION)
+    if len(name) >= 4:
+        kinds.append(VariantKind.TYPO)
+    if make_simplification(name):
+        kinds.append(VariantKind.SIMPLIFICATION)
+    if synonyms:
+        kinds.append(VariantKind.SYNONYM)
+    return kinds

@@ -1,0 +1,159 @@
+"""Tests for the dataset-characterisation subpackage (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ambiguity_profile,
+    context_stats,
+    degree_statistics,
+    discrepancy_mix,
+    edges_per_node,
+    sibling_similarity,
+    summarize_corpus,
+    summarize_kb,
+)
+from repro.datasets import load_dataset
+from repro.graph import HeteroGraph, medical_schema
+from repro.text import MentionAnnotation, Snippet, mint_cui
+
+
+@pytest.fixture
+def toy():
+    g = HeteroGraph(medical_schema())
+    g.aspirin = g.add_node("Drug", "aspirin")
+    g.renal = g.add_node("Finding", "acute renal failure", aliases=("ARF",))
+    g.resp = g.add_node("Finding", "acute respiratory failure")
+    g.nausea = g.add_node("AdverseEffect", "nausea")
+    g.isolated = g.add_node("Symptom", "floating symptom")
+    g.add_edge_by_name(g.aspirin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.nausea, g.renal, "HAS")
+    g.add_edge_by_name(g.nausea, g.resp, "HAS")
+    return g
+
+
+class TestDegreeStats:
+    def test_values_on_toy(self, toy):
+        stats = degree_statistics(toy)
+        assert stats.mean == pytest.approx(6 / 5)  # 3 edges, both endpoints
+        assert stats.max == 3  # nausea
+        assert stats.isolated_fraction == pytest.approx(1 / 5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            degree_statistics(HeteroGraph(medical_schema()))
+
+    def test_edges_per_node(self, toy):
+        assert edges_per_node(toy) == pytest.approx(3 / 5)
+
+    def test_density_ordering_matches_table2(self):
+        """The MIMIC-III analogue must be denser than the MDX analogue —
+        the Table 2 relationship the profiles encode."""
+        mimic = load_dataset("MIMIC-III", scale=0.05, use_cache=False).kb
+        mdx = load_dataset("MDX", scale=0.05, use_cache=False).kb
+        assert edges_per_node(mimic) > edges_per_node(mdx)
+
+
+class TestAmbiguity:
+    def test_arf_collision_detected(self, toy):
+        profile = ambiguity_profile(toy)
+        assert profile.ambiguous_surfaces >= 1
+        assert profile.max_candidates >= 2
+        surfaces = [s for s, _ in profile.top_ambiguous]
+        assert "arf" in surfaces
+
+    def test_fraction_bounds(self, toy):
+        profile = ambiguity_profile(toy)
+        assert 0.0 <= profile.ambiguous_fraction <= 1.0
+
+
+class TestSiblingSimilarity:
+    def test_range_and_determinism(self, toy):
+        a = sibling_similarity(toy, sample_pairs=50, seed=1)
+        b = sibling_similarity(toy, sample_pairs=50, seed=1)
+        assert a == b
+        assert 0.0 <= a <= 1.0
+
+    def test_needs_two_nodes(self):
+        g = HeteroGraph(medical_schema())
+        g.add_node("Drug", "only one")
+        with pytest.raises(ValueError):
+            sibling_similarity(g)
+
+    def test_metric_selectable(self, toy):
+        for metric in ("star_ged", "mcs", "jaccard"):
+            value = sibling_similarity(toy, metric=metric, sample_pairs=20)
+            assert 0.0 <= value <= 1.0
+
+
+class TestKbSummary:
+    def test_summary_keys(self, toy):
+        summary = summarize_kb(toy, sample_pairs=20)
+        assert summary["nodes"] == toy.num_nodes
+        assert summary["edges"] == toy.num_edges
+        assert "degrees" in summary and "ambiguity" in summary
+
+
+def make_snippet(kb, gold, surface, context_nodes):
+    mentions = [MentionAnnotation(surface, 0, len(surface), kb.node_type_name(gold), mint_cui(gold))]
+    cursor = len(surface) + 2
+    for node in context_nodes:
+        name = kb.node_name(node)
+        mentions.append(
+            MentionAnnotation(name, cursor, cursor + len(name), kb.node_type_name(node), mint_cui(node))
+        )
+        cursor += len(name) + 2
+    text = ", ".join([surface] + [kb.node_name(n) for n in context_nodes])
+    return Snippet(text=text, mentions=mentions, ambiguous_index=0)
+
+
+class TestCorpusStats:
+    def test_context_stats(self, toy):
+        snippets = [
+            make_snippet(toy, toy.renal, "ARF", [toy.nausea]),
+            make_snippet(toy, toy.renal, "acute renal failure", [toy.nausea, toy.aspirin]),
+        ]
+        stats = context_stats(snippets)
+        assert stats.mean_mentions == pytest.approx(2.5)
+        assert stats.min_mentions == 2
+        assert stats.max_mentions == 3
+        assert stats.single_context_fraction == pytest.approx(0.5)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            context_stats([])
+
+    def test_discrepancy_mix_classifies(self, toy):
+        snippets = [
+            make_snippet(toy, toy.renal, "ARF", [toy.nausea]),  # acronym
+            make_snippet(toy, toy.renal, "acute renal failure", []),  # exact
+            make_snippet(toy, toy.renal, "zzz unrelated zzz", []),  # unknown
+        ]
+        mix = discrepancy_mix(snippets, toy)
+        assert mix.fractions["acronym"] == pytest.approx(1 / 3)
+        assert mix.fractions["exact"] == pytest.approx(1 / 3)
+        assert mix.n_unknown == 1
+
+    def test_summarize_corpus_with_kb(self, toy):
+        snippets = [make_snippet(toy, toy.renal, "ARF", [toy.nausea])]
+        summary = summarize_corpus(snippets, toy)
+        assert summary["snippets"] == 1
+        assert "discrepancies" in summary
+
+    def test_dataset_profiles_drive_measured_mix(self):
+        """The NCBI profile allocates ~30% synonyms; the measured mix on
+        the generated corpus must show a nonzero synonym share."""
+        dataset = load_dataset("NCBI", scale=0.3)
+        mix = discrepancy_mix(dataset.snippets, dataset.kb)
+        assert mix.fractions.get("acronym", 0) > 0
+        assert mix.n_classified > 0
+
+    def test_mimic_snippets_are_short(self):
+        """MIMIC-III's short-snippet character (context mean 1.6) must be
+        measurable against the MDX analogue (3.5)."""
+        mimic = load_dataset("MIMIC-III", scale=0.05, use_cache=False)
+        mdx = load_dataset("MDX", scale=0.05, use_cache=False)
+        assert (
+            context_stats(mimic.snippets).mean_mentions
+            < context_stats(mdx.snippets).mean_mentions
+        )

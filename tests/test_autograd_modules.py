@@ -1,0 +1,265 @@
+"""Tests for Module containers, layers, RNNs, optimisers, serialisation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    GRU,
+    MLP,
+    SGD,
+    Adam,
+    Bilinear,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleDict,
+    ModuleList,
+    SequenceEncoder,
+    Sequential,
+    Tensor,
+    check_gradients,
+    clip_grad_norm,
+    functional as F,
+    load_state,
+    save_state,
+    state_allclose,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestModuleTraversal:
+    def test_named_parameters_nested(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(2, 3, rng)
+                self.stack = ModuleList([Linear(3, 3, rng), Linear(3, 1, rng)])
+                self.by_name = ModuleDict({"a": Linear(1, 1, rng)})
+                self.free = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "lin.weight" in names
+        assert "stack.items.0.weight" in names
+        assert "by_name.items.a.bias" in names
+        assert "free" in names
+        assert net.num_parameters() == sum(p.size for p in net.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = MLP(4, [8], 2, rng)
+        b = MLP(4, [8], 2, np.random.default_rng(99))
+        assert not state_allclose(a.state_dict(), b.state_dict())
+        b.load_state_dict(a.state_dict())
+        assert state_allclose(a.state_dict(), b.state_dict())
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        a = Linear(2, 3, rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        a = Linear(2, 3, rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self, rng):
+        lin = Linear(4, 3, rng)
+        x = Tensor(rng.standard_normal((5, 4)).astype(np.float32))
+        out = lin(x)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert lin.weight.grad is not None and lin.bias.grad is not None
+
+    def test_embedding_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 1, 9]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_mlp_hidden_structure(self, rng):
+        mlp = MLP(4, [8, 8], 1, rng)
+        out = mlp(Tensor(rng.standard_normal((2, 4)).astype(np.float32)))
+        assert out.shape == (2, 1)
+
+    def test_bilinear_score(self, rng):
+        bil = Bilinear(3, 3, rng)
+        a = Tensor(rng.standard_normal((5, 3)).astype(np.float32))
+        b = Tensor(rng.standard_normal((5, 3)).astype(np.float32))
+        assert bil(a, b).shape == (5,)
+
+    def test_layernorm_normalizes(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 16)).astype(np.float32) * 10 + 5)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self, rng):
+        drop = Dropout(0.9, rng)
+        drop.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_train_scales(self, rng):
+        drop = Dropout(0.5, rng)
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        out = drop(x)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+        assert 300 < len(kept) < 700
+
+
+class TestRNN:
+    def test_gru_cell_shapes(self, rng):
+        cell = GRUCell(4, 8, rng)
+        h = cell(Tensor(np.zeros((2, 4), dtype=np.float32)), Tensor(np.zeros((2, 8), dtype=np.float32)))
+        assert h.shape == (2, 8)
+
+    def test_gru_sequence(self, rng):
+        gru = GRU(4, 8, rng)
+        x = Tensor(rng.standard_normal((3, 5, 4)).astype(np.float32))
+        states, final = gru(x)
+        assert states.shape == (3, 5, 8)
+        assert final.shape == (3, 8)
+        np.testing.assert_allclose(states.data[:, -1, :], final.data)
+
+    def test_gru_gradients_flow(self, rng):
+        gru = GRU(3, 4, rng)
+        x = Tensor(rng.standard_normal((2, 4, 3)).astype(np.float32), requires_grad=True)
+        _, final = gru(x)
+        (final * final).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+    def test_sequence_encoder_pools(self, rng):
+        enc = SequenceEncoder(4, 8, rng)
+        out = enc(Tensor(rng.standard_normal((2, 6, 4)).astype(np.float32)))
+        assert out.shape == (2, 8)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self, optimizer_factory, steps=200):
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal(5), requires_grad=True, dtype=np.float64)
+        target = np.arange(5, dtype=np.float64)
+        opt = optimizer_factory([w])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = ((w - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        return w.data, target
+
+    def test_sgd_converges(self):
+        w, target = self._quadratic_problem(lambda p: SGD(p, lr=0.05))
+        np.testing.assert_allclose(w, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w, target = self._quadratic_problem(lambda p: SGD(p, lr=0.02, momentum=0.9))
+        np.testing.assert_allclose(w, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        w, target = self._quadratic_problem(lambda p: Adam(p, lr=0.1))
+        np.testing.assert_allclose(w, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([w], lr=0.01, weight_decay=10.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * Tensor(np.zeros(3))).sum().backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < 1.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_clip_grad_norm(self):
+        w = Tensor(np.ones(4), requires_grad=True)
+        (w * 100.0).sum().backward()
+        pre = clip_grad_norm([w], max_norm=1.0)
+        assert pre == pytest.approx(200.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_step_skips_none_grads(self, rng):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([a, b], lr=0.1)
+        (a * 2).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(b.data, 1.0)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        model = MLP(3, [4], 2, rng)
+        path = os.path.join(tmp_path, "model.npz")
+        save_state(model, path)
+        other = MLP(3, [4], 2, np.random.default_rng(123))
+        load_state(other, path)
+        assert state_allclose(model.state_dict(), other.state_dict())
+
+
+class TestFunctionalExtras:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        out = F.softmax(x, axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-6
+        )
+
+    def test_bce_matches_manual(self, rng):
+        logits = Tensor(rng.standard_normal(10), dtype=np.float64)
+        labels = (rng.random(10) > 0.5).astype(np.float64)
+        probs = 1 / (1 + np.exp(-logits.data))
+        manual = -(labels * np.log(probs) + (1 - labels) * np.log(1 - probs)).mean()
+        ours = F.binary_cross_entropy_with_logits(logits, labels).item()
+        assert ours == pytest.approx(manual, rel=1e-6)
+
+    def test_bce_pos_weight(self, rng):
+        logits = Tensor(np.zeros(2), dtype=np.float64)
+        labels = np.array([1.0, 0.0])
+        unweighted = F.binary_cross_entropy_with_logits(logits, labels).item()
+        weighted = F.binary_cross_entropy_with_logits(logits, labels, pos_weight=3.0).item()
+        assert weighted > unweighted
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1])).item()
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_similarity_bounds(self, rng):
+        a = Tensor(rng.standard_normal((5, 8)))
+        b = Tensor(rng.standard_normal((5, 8)))
+        sims = F.cosine_similarity(a, b).data
+        assert np.all(sims <= 1.0 + 1e-6) and np.all(sims >= -1.0 - 1e-6)
+
+    def test_l2_normalize_unit_rows(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)))
+        out = F.l2_normalize(x, axis=1).data
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-5)

@@ -1,0 +1,240 @@
+"""Unit + property tests for the autograd tensor core.
+
+Every differentiable primitive is verified against central finite
+differences — this file is the correctness anchor for all GNN training.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, no_grad, ones, tensor, zeros
+
+
+def randt(rng, *shape, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True, dtype=np.float64)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestBasics:
+    def test_construction_and_shape(self):
+        t = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert len(t) == 2
+
+    def test_zeros_ones(self):
+        assert np.all(zeros((2, 3)).data == 0)
+        assert np.all(ones((2, 3)).data == 1)
+
+    def test_item_scalar(self):
+        assert tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_shares_data_but_no_grad(self, rng):
+        t = randt(rng, 3)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(tensor([1.0, 2.0]))
+
+    def test_requires_grad_promotes_int_to_float(self):
+        t = Tensor(np.array([1, 2, 3]), requires_grad=True)
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_backward_on_non_scalar_requires_gradient(self, rng):
+        t = randt(rng, 3)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+
+class TestNoGrad:
+    def test_no_grad_disables_tape(self, rng):
+        t = randt(rng, 3)
+        with no_grad():
+            out = (t * t).sum()
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state_on_exception(self, rng):
+        t = randt(rng, 3)
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        out = (t * t).sum()
+        assert out.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add_sub_mul_div(self, rng):
+        a, b = randt(rng, 3, 4), randt(rng, 3, 4)
+        b.data += 3.0  # keep away from zero for division
+        check_gradients(lambda a, b: ((a + b) * (a - b) / b).sum(), [a, b])
+
+    def test_broadcasting(self, rng):
+        a = randt(rng, 3, 4)
+        b = randt(rng, 4)
+        check_gradients(lambda a, b: (a * b + b).sum(), [a, b])
+
+    def test_scalar_operands(self, rng):
+        a = randt(rng, 5)
+        check_gradients(lambda a: (2.0 * a + 1.0 - a / 4.0).sum(), [a])
+
+    def test_neg_pow(self, rng):
+        a = randt(rng, 4)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: ((-a) ** 3).sum(), [a])
+
+    def test_rsub_rdiv(self, rng):
+        a = randt(rng, 4)
+        a.data = np.abs(a.data) + 1.0
+        check_gradients(lambda a: (1.0 - a).sum() + (2.0 / a).sum(), [a])
+
+    def test_matmul_matrix_matrix(self, rng):
+        a, b = randt(rng, 3, 4), randt(rng, 4, 5)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_matrix_vector(self, rng):
+        a, v = randt(rng, 3, 4), randt(rng, 4)
+        check_gradients(lambda a, v: (a @ v).sum(), [a, v])
+
+    def test_matmul_vector_matrix(self, rng):
+        v, a = randt(rng, 3), randt(rng, 3, 4)
+        check_gradients(lambda v, a: (v @ a).sum(), [v, a])
+
+    def test_matmul_vector_vector(self, rng):
+        u, v = randt(rng, 4), randt(rng, 4)
+        check_gradients(lambda u, v: u @ v, [u, v])
+
+
+class TestReductionGradients:
+    def test_sum_all_and_axis(self, rng):
+        a = randt(rng, 3, 4)
+        check_gradients(lambda a: a.sum(), [a])
+        check_gradients(lambda a: a.sum(axis=0).sum(), [a])
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True).sum(), [a])
+
+    def test_mean(self, rng):
+        a = randt(rng, 3, 4)
+        check_gradients(lambda a: a.mean(), [a])
+        check_gradients(lambda a: a.mean(axis=1).sum(), [a])
+
+    def test_max(self, rng):
+        a = randt(rng, 3, 4)
+        check_gradients(lambda a: a.max(), [a])
+        check_gradients(lambda a: a.max(axis=1).sum(), [a])
+
+
+class TestShapeGradients:
+    def test_reshape_transpose(self, rng):
+        a = randt(rng, 3, 4)
+        check_gradients(lambda a: (a.reshape(2, 6) ** 2).sum(), [a])
+        check_gradients(lambda a: (a.T @ a).sum(), [a])
+
+    def test_transpose_with_axes(self, rng):
+        a = randt(rng, 2, 3, 4)
+        check_gradients(lambda a: (a.transpose((2, 0, 1)) ** 2).sum(), [a])
+
+    def test_getitem_slice_and_fancy(self, rng):
+        a = randt(rng, 6, 3)
+        check_gradients(lambda a: a[1:4].sum(), [a])
+        idx = np.array([0, 0, 2, 5])
+        check_gradients(lambda a: a[idx].sum(), [a])
+
+    def test_getitem_duplicate_index_accumulates(self, rng):
+        a = randt(rng, 4)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        assert a.grad[1] == pytest.approx(3.0)
+
+
+class TestNonlinearGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a: a.exp().sum(),
+            lambda a: (a.abs() + 1.0).log().sum(),
+            lambda a: a.tanh().sum(),
+            lambda a: a.sigmoid().sum(),
+            lambda a: a.relu().sum(),
+            lambda a: a.leaky_relu(0.1).sum(),
+            lambda a: a.elu().sum(),
+            lambda a: a.sin().sum(),
+            lambda a: a.cos().sum(),
+            lambda a: (a.abs() + 0.5).sqrt().sum(),
+        ],
+    )
+    def test_elementwise(self, rng, fn):
+        a = randt(rng, 4, 3)
+        a.data += 0.05  # avoid kinks right at zero for relu-likes
+        check_gradients(fn, [a])
+
+    def test_clip_gradient_is_zero_outside(self, rng):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True, dtype=np.float64)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        t = tensor([1000.0, -1000.0])
+        out = t.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.0)
+
+
+class TestGradientAccumulation:
+    def test_diamond_graph(self, rng):
+        a = randt(rng, 3)
+        b = a * 2.0
+        out = (b + b * a).sum()
+        out.backward()
+        expected = 2.0 + 4.0 * a.data
+        np.testing.assert_allclose(a.grad, expected, rtol=1e-6)
+
+    def test_repeated_backward_accumulates(self, rng):
+        a = randt(rng, 3)
+        (a * 2).sum().backward()
+        first = a.grad.copy()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_zero_grad(self, rng):
+        a = randt(rng, 3)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_property_mul_gradient_is_other_operand(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((rows, cols)), requires_grad=True, dtype=np.float64)
+    b = Tensor(rng.standard_normal((rows, cols)), dtype=np.float64)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 8))
+def test_property_sigmoid_plus_negation_is_one(seed, n):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal(n))
+    total = x.sigmoid().data + (-x).sigmoid().data
+    np.testing.assert_allclose(total, np.ones(n), atol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for the three baseline systems and their shared scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    DeepMatcher,
+    NCEL,
+    NormCo,
+    PairExample,
+    TokenMatrixizer,
+    build_eval_pairs,
+    build_train_pairs,
+    gold_entity,
+)
+from repro.datasets import load_dataset
+from repro.text import HashingNgramEmbedder
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NCBI", scale=0.25, use_cache=True)
+
+
+class TestPairBuilding:
+    def test_eval_pairs_structure(self, dataset):
+        pairs = build_eval_pairs(dataset.kb, dataset.val, k=1, seed=0)
+        assert len(pairs) == 2 * len(dataset.val)
+        positives = [p for p in pairs if p.label == 1]
+        assert len(positives) == len(dataset.val)
+        for p in positives:
+            assert p.entity == gold_entity(p.snippet)
+
+    def test_eval_pairs_deterministic(self, dataset):
+        a = build_eval_pairs(dataset.kb, dataset.val, k=1, seed=0)
+        b = build_eval_pairs(dataset.kb, dataset.val, k=1, seed=0)
+        assert [(p.entity, p.label) for p in a] == [(p.entity, p.label) for p in b]
+
+    def test_train_pairs_negatives_not_gold(self, dataset):
+        rng = np.random.default_rng(0)
+        pairs = build_train_pairs(dataset.kb, dataset.train[:20], k=3, rng=rng)
+        for p in pairs:
+            if p.label == 0:
+                assert p.entity != gold_entity(p.snippet)
+
+    def test_token_matrixizer_shapes(self):
+        tm = TokenMatrixizer(HashingNgramEmbedder(dim=16), max_tokens=4)
+        out = tm.encode("acute renal failure observed in patient")
+        assert out.shape == (4, 16)
+        assert np.any(out[0] != 0)
+        batch = tm.encode_batch(["a b", "c"])
+        assert batch.shape == (2, 4, 16)
+
+    def test_token_matrixizer_pads_empty(self):
+        tm = TokenMatrixizer(HashingNgramEmbedder(dim=8), max_tokens=3)
+        assert np.all(tm.encode("") == 0)
+
+
+@pytest.mark.parametrize("cls", [DeepMatcher, NormCo, NCEL])
+class TestBaselineTraining:
+    def test_short_training_runs_and_scores(self, dataset, cls):
+        model = cls(dataset.kb, seed=0, epochs=4, patience=4)
+        result = model.fit(dataset.train[:40], dataset.val[:15], dataset.test[:15])
+        assert 0.0 <= result.test.f1 <= 1.0
+        assert len(result.history) <= 4
+
+    def test_score_pairs_differentiable(self, dataset, cls):
+        model = cls(dataset.kb, seed=0)
+        pairs = build_eval_pairs(dataset.kb, dataset.val[:5], k=1, seed=0)
+        logits = model.score_pairs(pairs)
+        assert logits.shape == (len(pairs),)
+        logits.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+
+class TestRegistry:
+    def test_all_baselines_registered(self):
+        assert set(BASELINES) == {"DeepMatcher", "NormCo", "NCEL"}
+
+    def test_normco_requires_matching_dims(self, dataset):
+        with pytest.raises(ValueError):
+            NormCo(dataset.kb, token_dim=32, hidden_dim=64)
+
+
+class TestInformationRestrictions:
+    def test_deepmatcher_blind_to_structure(self, dataset):
+        """DeepMatcher's score must not change when the KB edges change —
+        it is a text-only model (the paper's characterisation)."""
+        model = DeepMatcher(dataset.kb, seed=0)
+        pairs = build_eval_pairs(dataset.kb, dataset.val[:5], k=1, seed=0)
+        before = model.score_pairs(pairs).data.copy()
+        mutated = dataset.kb.copy()
+        # Drop half the edges.
+        src, dst, et = mutated.edges()
+        mutated._src = src[: len(src) // 2].tolist()
+        mutated._dst = dst[: len(dst) // 2].tolist()
+        mutated._etypes = et[: len(et) // 2].tolist()
+        mutated._invalidate()
+        model.kb = mutated
+        after = model.score_pairs(pairs).data
+        np.testing.assert_allclose(before, after)

@@ -1,0 +1,161 @@
+"""Tests for fuzzy candidate generation and the end-to-end linking
+evaluation (ranking view)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Candidate,
+    EDPipeline,
+    FuzzyCandidateGenerator,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.datasets import load_dataset
+from repro.eval import evaluate_linking
+from repro.graph import HeteroGraph, medical_schema
+from repro.text import HashingNgramEmbedder
+
+
+@pytest.fixture
+def toy_kb():
+    kb = HeteroGraph(medical_schema())
+    kb.proteinuria = kb.add_node("Finding", "proteinuria")
+    kb.nephrosis = kb.add_node("Finding", "nephrosis", aliases=("renal disorder",))
+    kb.renal = kb.add_node("Finding", "acute renal failure", aliases=("ARF",))
+    kb.aspirin = kb.add_node("Drug", "aspirin")
+    kb.nausea = kb.add_node("AdverseEffect", "nausea")
+    kb.add_edge_by_name(kb.aspirin, kb.nausea, "CAUSE")
+    kb.add_edge_by_name(kb.nausea, kb.renal, "HAS")
+    return kb
+
+
+class TestFuzzyCandidates:
+    def test_exact_hits_come_from_index(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb)
+        out = gen.candidates("proteinuria")
+        assert out == [Candidate(toy_kb.proteinuria, 1.0, "index")]
+
+    def test_alias_hits_come_from_index(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb)
+        out = gen.candidates("renal disorder")
+        assert out[0].node == toy_kb.nephrosis
+        assert out[0].source == "index"
+
+    def test_typo_recovered_by_ngram_fallback(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb)
+        out = gen.candidates("protienuria")  # transposed typo, not indexed
+        assert out, "fuzzy retrieval found nothing"
+        assert out[0].node == toy_kb.proteinuria
+        assert out[0].source == "ngram"
+        assert out[0].score < 1.0
+
+    def test_garbage_yields_nothing(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb)
+        assert gen.candidates("zzzz qqqq xxxx") == []
+
+    def test_edit_filter_rejects_distant_names(self, toy_kb):
+        strict = FuzzyCandidateGenerator(toy_kb, max_edit_ratio=0.2)
+        loose = FuzzyCandidateGenerator(toy_kb, max_edit_ratio=1.0)
+        surface = "nephrosys"  # edit distance 2 of "nephrosis" (len 9)
+        assert any(c.node == toy_kb.nephrosis for c in loose.candidates(surface))
+        strict_nodes = [c.node for c in strict.candidates(surface)]
+        loose_nodes = [c.node for c in loose.candidates(surface)]
+        assert set(strict_nodes) <= set(loose_nodes)
+
+    def test_top_k_respected_and_validated(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb, min_similarity=0.0, max_edit_ratio=1.0)
+        assert len(gen.candidates("nephro", top_k=2)) <= 2
+        with pytest.raises(ValueError):
+            gen.candidates("nephro", top_k=0)
+
+    def test_candidate_ids_format(self, toy_kb):
+        gen = FuzzyCandidateGenerator(toy_kb)
+        ids = gen.candidate_ids("aspirin")
+        assert ids == [toy_kb.aspirin]
+
+
+class TestPipelineFuzzyIntegration:
+    @pytest.fixture(scope="class")
+    def pipelines(self):
+        dataset = load_dataset("NCBI", scale=0.2, use_cache=False)
+        kwargs = dict(
+            model_config=ModelConfig(
+                variant="graphsage", num_layers=2, feature_dim=32, hidden_dim=32
+            ),
+            train_config=TrainConfig(epochs=2, patience=5, seed=0),
+            embedder=HashingNgramEmbedder(dim=32),
+        )
+        plain = EDPipeline(dataset.kb, fuzzy_candidates=False, **kwargs)
+        plain.fit(dataset.train, dataset.val, dataset.test)
+        fuzzy = EDPipeline(dataset.kb, fuzzy_candidates=True, **kwargs)
+        fuzzy.fit(dataset.train, dataset.val, dataset.test)
+        return dataset, plain, fuzzy
+
+    def test_fuzzy_narrows_typo_candidates(self, pipelines):
+        dataset, plain, fuzzy = pipelines
+        name = dataset.kb.node_name(0)
+        typo = name[:-2] + name[-1] + name[-2]  # swap last two characters
+        text = f"Observed {typo} together with {dataset.kb.node_name(1)}."
+        snippet_plain = plain.snippet_from_text(text, ambiguous_surface=typo)
+        snippet_fuzzy = fuzzy.snippet_from_text(text, ambiguous_surface=typo)
+        p_plain = plain.disambiguate_snippet(snippet_plain, top_k=20)
+        p_fuzzy = fuzzy.disambiguate_snippet(snippet_fuzzy, top_k=20)
+        # The fuzzy pipeline ranks within a focused candidate pool; the
+        # plain one falls back to every same-type entity.
+        assert 0 in p_fuzzy.ranked_entities or p_fuzzy.ranked_entities
+        assert len(p_fuzzy.ranked_entities) <= len(p_plain.ranked_entities) or (
+            0 in p_fuzzy.ranked_entities
+        )
+
+    def test_fuzzy_flag_round_trips_checkpoint(self, pipelines, tmp_path):
+        from repro.core import load_pipeline, save_pipeline
+
+        _, _, fuzzy = pipelines
+        save_pipeline(fuzzy, str(tmp_path))
+        loaded = load_pipeline(str(tmp_path))
+        assert loaded.fuzzy_candidates is True
+        assert loaded._fuzzy_generator is not None
+
+
+class TestLinkingEvaluation:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = load_dataset("NCBI", scale=0.2, use_cache=False)
+        pipeline = EDPipeline(
+            dataset.kb,
+            model_config=ModelConfig(
+                variant="graphsage", num_layers=2, feature_dim=32, hidden_dim=32
+            ),
+            train_config=TrainConfig(epochs=3, patience=5, seed=0),
+            embedder=HashingNgramEmbedder(dim=32),
+        )
+        pipeline.fit(dataset.train, dataset.val, dataset.test)
+        return dataset, pipeline
+
+    def test_metric_bounds_and_ordering(self, trained):
+        dataset, pipeline = trained
+        snippets = dataset.test[:30]
+        result = evaluate_linking(pipeline, snippets, top_k=5)
+        assert result.n_evaluated == len(snippets)
+        assert 0.0 <= result.hits_at_1 <= result.hits_at_k <= 1.0
+        assert result.hits_at_1 <= result.mrr <= 1.0
+
+    def test_ranks_recorded(self, trained):
+        dataset, pipeline = trained
+        result = evaluate_linking(pipeline, dataset.test[:10], top_k=3)
+        assert len(result.ranks) == 10
+        for rank in result.ranks:
+            assert rank is None or 1 <= rank <= 3
+
+    def test_unlabeled_snippets_skipped(self, trained):
+        dataset, pipeline = trained
+        snippet = pipeline.snippet_from_text(dataset.test[0].text)
+        result = evaluate_linking(pipeline, [snippet], top_k=3)
+        assert result.n_evaluated == 0
+        assert result.n_skipped == 1
+
+    def test_top_k_validated(self, trained):
+        _, pipeline = trained
+        with pytest.raises(ValueError):
+            evaluate_linking(pipeline, [], top_k=0)

@@ -1,0 +1,192 @@
+"""Tests for the command-line interface (repro.cli).
+
+All commands are exercised in-process through ``main(argv)`` at tiny
+scale so the suite stays fast.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = "0.2"
+SNIPPET_TEXT = (
+    "The patient presented with mild spinal hyperplasia, "
+    "congenital cardiac cancer and primary dermal necrosis."
+)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """A tiny trained checkpoint shared by the link/explain tests."""
+    out = str(tmp_path_factory.mktemp("cli_ckpt"))
+    code = main(
+        [
+            "train",
+            "--dataset", "NCBI",
+            "--scale", SCALE,
+            "--epochs", "2",
+            "--variant", "graphsage",
+            "--out", out,
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_all_subcommands_have_help(self, capsys):
+        for command in ("datasets", "synth", "train", "evaluate", "link", "explain", "reproduce"):
+            with pytest.raises(SystemExit) as exc:
+                build_parser().parse_args([command, "--help"])
+            assert exc.value.code == 0
+
+    def test_reproduce_validates_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--experiment", "table99"])
+
+
+class TestDatasets:
+    def test_profile_only_lists_table2(self, capsys):
+        assert main(["datasets", "--profile-only"]) == 0
+        out = capsys.readouterr().out
+        assert "35028" in out  # MDX nodes
+        assert "284542" in out  # MIMIC-III edges
+        for name in ("MDX", "MIMIC-III", "NCBI", "ShARe", "BioCDR"):
+            assert name in out
+
+
+class TestSynth:
+    def test_writes_kb_and_splits(self, tmp_path, capsys):
+        out = str(tmp_path / "synth")
+        assert main(["synth", "--dataset", "NCBI", "--scale", SCALE, "--out", out]) == 0
+        for name in ("kb.json", "train.jsonl", "val.jsonl", "test.jsonl"):
+            assert os.path.exists(os.path.join(out, name))
+        # The written corpus parses back.
+        from repro.text import load_snippets
+
+        snippets = load_snippets(os.path.join(out, "train.jsonl"))
+        assert snippets
+        assert all(s.ambiguous_mention.mention for s in snippets)
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["synth", "--dataset", "NOPE", "--out", str(tmp_path)])
+
+
+class TestTrainAndLink:
+    def test_checkpoint_contents(self, checkpoint):
+        for name in ("kb.json", "config.json", "weights.npz"):
+            assert os.path.exists(os.path.join(checkpoint, name))
+
+    def test_link_text(self, checkpoint, capsys):
+        assert main(
+            ["link", "--checkpoint", checkpoint, "--text", SNIPPET_TEXT, "--top-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mention:" in out
+
+    def test_link_json_output(self, checkpoint, capsys):
+        assert main(
+            ["link", "--checkpoint", checkpoint, "--text", SNIPPET_TEXT, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mention"]
+        assert payload["candidates"]
+        assert {"entity_id", "name", "score"} <= set(payload["candidates"][0])
+
+    def test_link_missing_checkpoint_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["link", "--checkpoint", str(tmp_path / "nope"), "--text", "x"])
+
+    def test_explain_prints_edges(self, checkpoint, capsys):
+        assert main(
+            [
+                "explain",
+                "--checkpoint", checkpoint,
+                "--text", SNIPPET_TEXT,
+                "--opt-epochs", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "match:" in out
+
+
+class TestEvaluate:
+    def test_json_payload(self, capsys):
+        assert main(
+            [
+                "evaluate",
+                "--dataset", "NCBI",
+                "--system", "NormCo",
+                "--scale", SCALE,
+                "--epochs", "2",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "NormCo"
+        assert 0.0 <= payload["f1"] <= 1.0
+
+
+class TestReproduce:
+    def test_table2(self, capsys):
+        assert main(
+            ["reproduce", "--experiment", "table2", "--datasets", "NCBI", "--scale", SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "NCBI" in out
+
+    def test_fig4b_prints_curves(self, capsys):
+        assert main(
+            [
+                "reproduce",
+                "--experiment", "fig4b",
+                "--datasets", "NCBI",
+                "--scale", SCALE,
+                "--epochs", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NCBI" in out
+        assert "ep0:" in out
+
+    def test_table3_grid(self, capsys):
+        assert main(
+            [
+                "reproduce",
+                "--experiment", "table3",
+                "--datasets", "NCBI",
+                "--systems", "NormCo", "graphsage",
+                "--scale", SCALE,
+                "--epochs", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "graphsage" in out
+
+    def test_table5_layer_sweep(self, capsys):
+        assert main(
+            [
+                "reproduce",
+                "--experiment", "table5",
+                "--datasets", "NCBI",
+                "--scale", SCALE,
+                "--epochs", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "4 layers" in out

@@ -1,0 +1,154 @@
+"""Tests for Algorithm 1 (query-graph construction + semantic
+augmentation) — the paper's first optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RELATED,
+    build_query_graph,
+    related_relation_id,
+    with_related_relation,
+)
+from repro.graph import HeteroGraph, InvertedIndex, medical_schema
+from repro.text import HashingNgramEmbedder, MentionAnnotation, Snippet, mint_cui
+
+EMB = HashingNgramEmbedder(dim=16)
+
+
+@pytest.fixture
+def kb():
+    schema = with_related_relation(medical_schema())
+    g = HeteroGraph(schema)
+    g.aspirin = g.add_node("Drug", "aspirin")
+    g.nausea = g.add_node("AdverseEffect", "nausea")
+    g.arf = g.add_node("Finding", "acute renal failure")
+    g.arf2 = g.add_node("Finding", "acute respiratory failure")
+    g.proteinuria = g.add_node("Finding", "proteinuria")
+    g.nephrotoxicity = g.add_node("Finding", "nephrotoxicity")
+    g.add_edge_by_name(g.aspirin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.nausea, g.arf, "HAS")
+    g.add_edge_by_name(g.nausea, g.proteinuria, "HAS")
+    return g
+
+
+@pytest.fixture
+def snippet(kb):
+    """The paper's running example: 'Aspirin can cause nausea indicating
+    a potential ARF, nephrotoxicity, and proteinuria'."""
+    text = "Aspirin can cause nausea indicating a potential ARF, nephrotoxicity, and proteinuria"
+    return Snippet(
+        text=text,
+        mentions=[
+            MentionAnnotation("Aspirin", 0, 7, "Drug", mint_cui(kb.aspirin)),
+            MentionAnnotation("nausea", 18, 24, "AdverseEffect", mint_cui(kb.nausea)),
+            MentionAnnotation("ARF", 48, 51, "Finding", mint_cui(kb.arf)),
+            MentionAnnotation("nephrotoxicity", 53, 67, "Finding", mint_cui(kb.nephrotoxicity)),
+            MentionAnnotation("proteinuria", 74, 85, "Finding", mint_cui(kb.proteinuria)),
+        ],
+        ambiguous_index=2,
+    )
+
+
+class TestRelatedRelation:
+    def test_idempotent(self):
+        schema = with_related_relation(medical_schema())
+        again = with_related_relation(schema)
+        assert again is schema
+
+    def test_related_id_resolves(self):
+        schema = with_related_relation(medical_schema())
+        rid = related_relation_id(schema)
+        assert schema.relation(rid).name == RELATED
+
+    def test_missing_related_raises(self):
+        with pytest.raises(KeyError):
+            related_relation_id(medical_schema())
+
+
+class TestAugmentedConstruction:
+    def test_nodes_are_all_mentions(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        assert qg.graph.num_nodes == 5
+        assert qg.mention_surface == "ARF"
+        assert qg.gold_entity == kb.arf
+
+    def test_mention_node_is_first(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        assert qg.mention_node == 0
+        assert qg.graph.node_name(0) == "ARF"
+
+    def test_kb_edges_copied_with_types(self, kb, snippet):
+        """Algorithm 1 lines 6-10: aspirin-CAUSE->nausea must appear."""
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        g = qg.graph
+        aspirin_q = next(v for v in range(g.num_nodes) if g.node_name(v) == "Aspirin")
+        nausea_q = next(v for v in range(g.num_nodes) if g.node_name(v) == "nausea")
+        rel = g.edge_between(aspirin_q, nausea_q)
+        assert rel is not None
+        assert g.schema.relation(rel).name == "CAUSE"
+
+    def test_unknown_mention_wired_by_schema(self, kb, snippet):
+        """Algorithm 1 lines 11-20: the ambiguous 'ARF' (a Finding) links
+        to nausea (AdverseEffect) through HAS per the schema."""
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        g = qg.graph
+        nausea_q = next(v for v in range(g.num_nodes) if g.node_name(v) == "nausea")
+        rel = g.edge_between(nausea_q, qg.mention_node)
+        assert rel is not None and g.schema.relation(rel).name == "HAS"
+        assert qg.extra_edges > 0
+
+    def test_anchors_resolve_context(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        anchored_refs = set(qg.anchors.values())
+        assert kb.aspirin in anchored_refs
+        assert kb.nausea in anchored_refs
+        # The ambiguous mention itself is never index-linked.
+        assert qg.mention_node not in qg.anchors
+
+    def test_features_match_embedder(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        np.testing.assert_allclose(qg.graph.features[0], EMB.embed("ARF"), atol=1e-6)
+
+    def test_no_related_edges_in_augmented_mode(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        _, _, et = qg.graph.edges()
+        rid = related_relation_id(qg.graph.schema)
+        assert rid not in et.tolist()
+
+
+class TestBasicConstruction:
+    def test_clique_with_self_loops(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=False)
+        n = qg.graph.num_nodes
+        assert qg.graph.num_edges == n + n * (n - 1) // 2
+
+    def test_only_related_edges(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=False)
+        _, _, et = qg.graph.edges()
+        rid = related_relation_id(qg.graph.schema)
+        assert set(et.tolist()) == {rid}
+
+
+class TestErrorTracking:
+    def test_multi_type_mentions_counted(self, kb):
+        """A surface matching entities of multiple types flags the query
+        graph (error class 1 of Table 6)."""
+        kb.add_node("AdverseEffect", "rash")
+        kb.add_node("Finding", "rash")
+        text = "rash with nausea and XYZ"
+        snippet = Snippet(
+            text=text,
+            mentions=[
+                MentionAnnotation("rash", 0, 4, "AdverseEffect", ""),
+                MentionAnnotation("nausea", 10, 16, "AdverseEffect", mint_cui(kb.nausea)),
+                MentionAnnotation("XYZ", 21, 24, "Finding", mint_cui(kb.arf)),
+            ],
+            ambiguous_index=2,
+        )
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        assert qg.multi_type_mentions >= 1
+
+    def test_context_node_count(self, kb, snippet):
+        qg = build_query_graph(snippet, kb, InvertedIndex(kb), EMB, augment=True)
+        assert qg.num_context_nodes == 4

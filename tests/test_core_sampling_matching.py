@@ -1,0 +1,201 @@
+"""Tests for negative sampling (Section 3.2), curriculum schedule,
+matching modules, and the evaluation protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.core import (
+    CurriculumSchedule,
+    NegativeSampler,
+    SemanticNegativeSampler,
+    UniformNegativeSampler,
+    make_matcher,
+)
+from repro.core.negative_sampling import EvaluationProtocol, evaluation_features
+from repro.graph import HeteroGraph, medical_schema
+from repro.text import HashingNgramEmbedder, node_features_for_graph
+
+
+@pytest.fixture
+def kb():
+    rng = np.random.default_rng(11)
+    schema = medical_schema()
+    g = HeteroGraph(schema)
+    for t in schema.node_types:
+        for i in range(8):
+            g.add_node(t, f"{t.lower()} entity {i}")
+    for _ in range(80):
+        rel_id = int(rng.integers(0, schema.num_relations))
+        rel = schema.relation(rel_id)
+        s = int(rng.choice(g.nodes_of_type(rel.src_type)))
+        d = int(rng.choice(g.nodes_of_type(rel.dst_type)))
+        if s != d:
+            g.add_edge(s, d, rel_id)
+    g.set_features(node_features_for_graph(g, HashingNgramEmbedder(dim=128)))
+    return g
+
+
+class TestUniformSampler:
+    def test_excludes_positive(self, kb):
+        sampler = UniformNegativeSampler(kb, np.random.default_rng(0))
+        for _ in range(20):
+            negs = sampler.sample(3, 5)
+            assert len(negs) == 5
+            assert 3 not in negs
+
+    def test_single_node_kb_rejected(self):
+        g = HeteroGraph(medical_schema())
+        g.add_node("Drug", "only")
+        sampler = UniformNegativeSampler(g, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sampler.sample(0, 1)
+
+
+class TestSemanticSampler:
+    def test_pool_ranked_descending(self, kb):
+        sampler = SemanticNegativeSampler(kb, kb.features, np.random.default_rng(0))
+        pool = sampler.pool_for(0)
+        assert np.all(np.diff(pool.scores) <= 1e-9)
+        assert 0 not in pool.candidates
+
+    def test_sample_draws_from_top(self, kb):
+        sampler = SemanticNegativeSampler(kb, kb.features, np.random.default_rng(0), top_pool=5)
+        pool_top = set(sampler.pool_for(0).candidates[:5].tolist())
+        negs = sampler.sample(0, 3)
+        assert all(int(n) in pool_top or int(n) != 0 for n in negs)
+
+    def test_hardest_deterministic(self, kb):
+        sampler = SemanticNegativeSampler(kb, kb.features, np.random.default_rng(0))
+        np.testing.assert_array_equal(sampler.hardest(2, 3), sampler.hardest(2, 3))
+
+    def test_same_type_only_filter(self, kb):
+        sampler = SemanticNegativeSampler(
+            kb, kb.features, np.random.default_rng(0), same_type_only=True
+        )
+        pool = sampler.pool_for(0)
+        t = kb.node_type(0)
+        assert all(kb.node_type(int(c)) == t for c in pool.candidates)
+
+    def test_embedding_size_validated(self, kb):
+        with pytest.raises(ValueError):
+            SemanticNegativeSampler(kb, np.zeros((3, 8)), np.random.default_rng(0))
+
+
+class TestCurriculum:
+    def test_epoch_zero_is_pure_uniform(self):
+        schedule = CurriculumSchedule(max_hard_fraction=0.8, warmup_epochs=10)
+        assert schedule.hard_fraction(0) == 0.0
+
+    def test_ramps_to_max(self):
+        schedule = CurriculumSchedule(max_hard_fraction=0.8, warmup_epochs=10)
+        assert schedule.hard_fraction(5) == pytest.approx(0.4)
+        assert schedule.hard_fraction(10) == pytest.approx(0.8)
+        assert schedule.hard_fraction(100) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurriculumSchedule(max_hard_fraction=1.5)
+        with pytest.raises(ValueError):
+            CurriculumSchedule(warmup_epochs=0)
+
+    def test_negative_sampler_mixes(self, kb):
+        sampler = NegativeSampler(
+            kb,
+            np.random.default_rng(0),
+            initial_embeddings=kb.features,
+            use_hard_negatives=True,
+        )
+        early = sampler.sample(0, 10, epoch=0)
+        late = sampler.sample(0, 10, epoch=50)
+        assert len(early) == len(late) == 10
+        assert 0 not in early and 0 not in late
+
+    def test_hard_negatives_require_embeddings(self, kb):
+        with pytest.raises(ValueError):
+            NegativeSampler(kb, np.random.default_rng(0), use_hard_negatives=True)
+
+
+class TestEvaluationProtocol:
+    def test_deterministic_across_instances(self, kb):
+        a = EvaluationProtocol(kb, 2, seed=7)
+        b = EvaluationProtocol(kb, 2, seed=7)
+        golds = [0, 5, 9, 0]
+        negs_a = [a.negatives(g).tolist() for g in golds]
+        negs_b = [b.negatives(g).tolist() for g in golds]
+        assert negs_a == negs_b
+
+    def test_different_seeds_differ(self, kb):
+        a = EvaluationProtocol(kb, 2, seed=7)
+        b = EvaluationProtocol(kb, 2, seed=8)
+        golds = list(range(10))
+        negs_a = [a.negatives(g).tolist() for g in golds]
+        negs_b = [b.negatives(g).tolist() for g in golds]
+        assert negs_a != negs_b
+
+    def test_evaluation_features_cached(self, kb):
+        f1 = evaluation_features(kb)
+        f2 = evaluation_features(kb)
+        assert f1 is f2
+        assert f1.shape == (kb.num_nodes, 128)
+
+
+class TestMatchers:
+    @pytest.mark.parametrize("name", ["dot", "mlp", "bilinear"])
+    def test_shapes_and_gradients(self, name):
+        rng = np.random.default_rng(0)
+        matcher = make_matcher(name, 8, rng)
+        a = Tensor(rng.standard_normal((5, 8)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((5, 8)).astype(np.float32), requires_grad=True)
+        out = matcher(a, b)
+        assert out.shape == (5,)
+        out.sum().backward()
+        assert a.grad is not None and b.grad is not None
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(ValueError):
+            make_matcher("nope", 8, np.random.default_rng(0))
+
+    def test_dot_matcher_monotone_in_similarity(self):
+        rng = np.random.default_rng(0)
+        matcher = make_matcher("dot", 4, rng)
+        v = np.array([[1.0, 0, 0, 0]], dtype=np.float32)
+        same = matcher(Tensor(v), Tensor(v)).item()
+        opposite = matcher(Tensor(v), Tensor(-v)).item()
+        assert same > opposite
+
+
+_PROPERTY_KB = {}
+
+
+def _property_kb():
+    if "kb" not in _PROPERTY_KB:
+        rng = np.random.default_rng(11)
+        schema = medical_schema()
+        g = HeteroGraph(schema)
+        for t in schema.node_types:
+            for i in range(5):
+                g.add_node(t, f"{t} e{i}")
+        for _ in range(30):
+            rel_id = int(rng.integers(0, schema.num_relations))
+            rel = schema.relation(rel_id)
+            s = int(rng.choice(g.nodes_of_type(rel.src_type)))
+            d = int(rng.choice(g.nodes_of_type(rel.dst_type)))
+            if s != d:
+                g.add_edge(s, d, rel_id)
+        g.set_features(node_features_for_graph(g, HashingNgramEmbedder(dim=32)))
+        _PROPERTY_KB["kb"] = g
+    return _PROPERTY_KB["kb"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), k=st.integers(1, 6))
+def test_property_negatives_never_contain_gold(seed, k):
+    kb = _property_kb()
+    sampler = SemanticNegativeSampler(kb, kb.features, np.random.default_rng(seed))
+    gold = seed % kb.num_nodes
+    negs = sampler.sample(gold, k)
+    assert gold not in negs
+    assert len(negs) == k

@@ -1,0 +1,168 @@
+"""End-to-end core tests: model, trainer, pipeline, explainer on a small
+synthetic dataset.  These are the integration tests of the repository."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EDGNN,
+    EDPipeline,
+    GNNExplainer,
+    ModelConfig,
+    TrainConfig,
+    with_related_relation,
+)
+from repro.datasets import load_dataset
+from repro.eval import analyze_errors
+from repro.eval.error_analysis import CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NCBI", scale=0.25, use_cache=True)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    """One trained pipeline shared by the read-only tests below."""
+    pipe = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(
+            variant="graphsage", feature_dim=32, hidden_dim=32, num_layers=2, seed=0
+        ),
+        train_config=TrainConfig(epochs=30, patience=30, seed=0),
+    )
+    result = pipe.fit(dataset.train, dataset.val, dataset.test)
+    return pipe, result
+
+
+class TestModelConfig:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(variant="transformer")
+
+    def test_model_builds_for_every_variant(self, dataset):
+        schema = with_related_relation(dataset.kb.schema)
+        for variant in ("graphsage", "rgcn", "gcn", "gat"):
+            model = EDGNN(
+                ModelConfig(variant=variant, feature_dim=16, hidden_dim=16, num_layers=1),
+                schema,
+            )
+            assert model.num_parameters() > 0
+
+
+class TestTraining:
+    def test_training_improves_over_initialization(self, dataset, trained):
+        _, result = trained
+        first_val = result.history[0].val.f1
+        assert result.best_val.f1 >= first_val
+        assert result.test.f1 > 0.5
+
+    def test_history_is_per_epoch(self, trained):
+        _, result = trained
+        epochs = [s.epoch for s in result.history]
+        assert epochs == list(range(len(epochs)))
+        curve = result.convergence_curve
+        assert curve[0][0] == 0 and len(curve) == len(epochs)
+
+    def test_test_records_cover_eval_pairs(self, dataset, trained):
+        _, result = trained
+        n_test = len(dataset.test)
+        # 1 positive + eval_negatives per snippet
+        assert len(result.test_records) == n_test * 2
+        labels = [r.label for r in result.test_records]
+        assert sum(labels) == n_test
+
+    def test_error_analysis_consistent(self, trained):
+        _, result = trained
+        breakdown = analyze_errors(result.test_records)
+        assert breakdown.total_mentions == len(result.test_records) // 2
+        assert set(breakdown.errors) <= set(CATEGORIES)
+        assert sum(breakdown.rates().values()) <= 1.0 + 1e-9
+        # Misclassified mentions must equal the categorised total.
+        miss = {
+            id(r.query_graph)
+            for r in result.test_records
+            if bool(r.prediction) != bool(r.label)
+        }
+        assert breakdown.total_errors == len(miss)
+
+
+class TestInference:
+    def test_disambiguate_snippet_ranks_gold_high(self, dataset, trained):
+        pipe, _ = trained
+        hits = 0
+        for snippet in dataset.test[:20]:
+            pred = pipe.disambiguate_snippet(snippet, top_k=3, restrict_to_candidates=False)
+            gold = int(snippet.ambiguous_mention.link_id[1:])
+            if gold in pred.ranked_entities:
+                hits += 1
+        assert hits >= 8  # top-3 over the whole KB; far above chance
+
+    def test_disambiguate_raw_text(self, dataset, trained):
+        pipe, _ = trained
+        name = dataset.kb.node_name(0)
+        pred = pipe.disambiguate(f"Clinical notes report {name}.")
+        assert pred.ranked_entities
+        assert len(pred.scores) == len(pred.ranked_entities)
+
+    def test_snippet_from_text_requires_mentions(self, trained):
+        pipe, _ = trained
+        with pytest.raises(ValueError):
+            pipe.snippet_from_text("qqqq zzzz wwww")
+
+
+class TestExplainer:
+    def test_explanation_structure(self, dataset, trained):
+        pipe, result = trained
+        qg = result.test_records[0].query_graph
+        explainer = GNNExplainer(pipe.model, dataset.kb, epochs=10, seed=0)
+        explanation = explainer.explain(qg, qg.gold_entity, k_hops=1, top_k=3)
+        assert explanation.entity_name == dataset.kb.node_name(qg.gold_entity)
+        assert len(explanation.top_edges) <= 3
+        for edge in explanation.top_edges:
+            assert 0.0 <= edge.score <= 1.0
+        assert np.all(explanation.edge_mask >= 0) and np.all(explanation.edge_mask <= 1)
+
+    def test_isolated_entity_yields_empty_explanation(self, dataset, trained):
+        pipe, result = trained
+        iso = dataset.kb.add_node("Disease", "completely isolated entity")
+        feats = np.vstack(
+            [dataset.kb.features, np.zeros((1, dataset.kb.features.shape[1]))]
+        ).astype(np.float32)
+        dataset.kb.set_features(feats)
+        qg = result.test_records[0].query_graph
+        explainer = GNNExplainer(pipe.model, dataset.kb, epochs=2, seed=0)
+        explanation = explainer.explain(qg, iso, k_hops=1)
+        assert explanation.top_edges == []
+
+
+class TestAblationToggles:
+    def test_basic_vs_augmented_query_graphs(self, dataset):
+        """Both construction modes must train; the ablation bench relies
+        on this toggle."""
+        for augment in (True, False):
+            pipe = EDPipeline(
+                dataset.kb,
+                model_config=ModelConfig(
+                    variant="rgcn", feature_dim=16, hidden_dim=16, num_layers=1, seed=0
+                ),
+                train_config=TrainConfig(epochs=3, patience=3, seed=0),
+                augment_query_graphs=augment,
+            )
+            result = pipe.fit(dataset.train[:30], dataset.val[:10], dataset.test[:10])
+            assert 0.0 <= result.test.f1 <= 1.0
+
+    def test_uniform_vs_hard_negatives(self, dataset):
+        for hard in (True, False):
+            pipe = EDPipeline(
+                dataset.kb,
+                model_config=ModelConfig(
+                    variant="graphsage", feature_dim=16, hidden_dim=16, num_layers=1, seed=0
+                ),
+                train_config=TrainConfig(
+                    epochs=3, patience=3, seed=0, use_hard_negatives=hard
+                ),
+            )
+            result = pipe.fit(dataset.train[:30], dataset.val[:10], dataset.test[:10])
+            assert 0.0 <= result.test.f1 <= 1.0

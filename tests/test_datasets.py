@@ -1,0 +1,145 @@
+"""Tests for the dataset synthesisers and registry (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PROFILES,
+    SPLIT_COUNTS,
+    NameFactory,
+    compose_snippet_text,
+    load_dataset,
+    synonyms_for,
+    synthesize_dataset,
+)
+from repro.datasets.registry import SCALE_FLOORS
+from repro.graph import InvertedIndex, derive_acronym
+from repro.text import parse_cui, validate_snippet
+
+#: Table 2 reference numbers
+TABLE2 = {
+    "MDX": (35_028, 74_621),
+    "MIMIC-III": (22_642, 284_542),
+    "NCBI": (753, 1_845),
+    "ShARe": (1_719, 12_731),
+    "BioCDR": (1_082, 2_857),
+}
+
+
+class TestVocabulary:
+    def test_disease_names_unique(self):
+        factory = NameFactory(np.random.default_rng(0))
+        names = factory.disease_names(500)
+        assert len(names) == len(set(names)) == 500
+
+    def test_drug_names_capacity(self):
+        factory = NameFactory(np.random.default_rng(0))
+        names = factory.drug_names(5000)
+        assert len(set(names)) == 5000
+
+    def test_acronym_families_exist(self):
+        factory = NameFactory(np.random.default_rng(0))
+        names = factory.disease_names(2000)
+        acronyms = {}
+        for n in names:
+            acronyms.setdefault(derive_acronym(n), []).append(n)
+        families = [v for k, v in acronyms.items() if k and len(v) >= 2]
+        assert families, "compositional naming must produce acronym collisions"
+
+    def test_synonyms_for(self):
+        assert "kidney failure" in synonyms_for("renal failure")
+        assert synonyms_for("aspirin") == ()
+
+    def test_types_share_no_names(self):
+        factory = NameFactory(np.random.default_rng(0))
+        a = set(factory.symptom_names(100))
+        b = set(factory.adverse_effect_names(100))
+        assert not (a & b)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            NameFactory(np.random.default_rng(0)).names_for_type("Starship", 3)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = load_dataset("NCBI", scale=0.2, use_cache=False)
+        b = load_dataset("NCBI", scale=0.2, use_cache=False)
+        assert a.kb.num_nodes == b.kb.num_nodes
+        assert a.kb.num_edges == b.kb.num_edges
+        assert [s.text for s in a.snippets[:20]] == [s.text for s in b.snippets[:20]]
+        src_a, dst_a, _ = a.kb.edges()
+        src_b, dst_b, _ = b.kb.edges()
+        np.testing.assert_array_equal(src_a, src_b)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_scaled_sizes_close_to_profile(self, name):
+        ds = load_dataset(name, scale=0.1, use_cache=False)
+        profile = PROFILES[name].scaled(0.1)
+        assert ds.kb.num_nodes == profile.num_nodes
+        # Edge budget may fall slightly short on sparse type pairs, and
+        # sibling copying adds extras.
+        assert ds.kb.num_edges >= 0.8 * profile.num_edges
+
+    def test_full_scale_profiles_match_table2(self):
+        for name, (nodes, edges) in TABLE2.items():
+            assert PROFILES[name].num_nodes == nodes
+            assert PROFILES[name].num_edges == edges
+
+    def test_snippets_valid_and_linked(self):
+        ds = load_dataset("ShARe", scale=0.15, use_cache=False)
+        for snippet in ds.snippets:
+            assert validate_snippet(snippet) == []
+            gold = parse_cui(snippet.ambiguous_mention.link_id)
+            assert 0 <= gold < ds.kb.num_nodes
+            # The gold's category matches the KB node type.
+            assert snippet.ambiguous_mention.category == ds.kb.node_type_name(gold)
+
+    def test_splits_partition(self):
+        ds = load_dataset("BioCDR", scale=0.15, use_cache=False)
+        all_idx = sorted(ds.train_indices + ds.val_indices + ds.test_indices)
+        assert len(set(all_idx)) == len(all_idx)
+        assert len(all_idx) <= len(ds.snippets)
+
+    def test_ncbi_fixed_split_counts(self):
+        counts = SPLIT_COUNTS["NCBI"]
+        assert counts == (500, 100, 100)
+        ds = load_dataset("NCBI", scale=1.0, use_cache=False)
+        assert len(ds.train) == 500 and len(ds.val) == 100 and len(ds.test) == 100
+
+    def test_some_mentions_ambiguous_in_index(self):
+        """A healthy fraction of ambiguous mentions must have >= 2 KB
+        candidates — otherwise the task degenerates to lookup."""
+        ds = load_dataset("MDX", scale=0.08, use_cache=False)
+        index = InvertedIndex(ds.kb)
+        ambiguous = sum(
+            1 for s in ds.snippets if len(index.lookup(s.ambiguous_mention.mention)) >= 2
+        )
+        assert ambiguous / len(ds.snippets) > 0.2
+
+    def test_scale_floor_applied_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        ds = load_dataset("NCBI", use_cache=False)
+        profile = PROFILES["NCBI"].scaled(SCALE_FLOORS["NCBI"])
+        assert ds.kb.num_nodes == profile.num_nodes
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("UMLS")
+
+
+class TestSnippetComposer:
+    def test_spans_exact(self):
+        rng = np.random.default_rng(0)
+        surfaces = ["alpha beta", "gamma", "delta epsilon zeta"]
+        text, spans = compose_snippet_text(surfaces, rng)
+        for surface, (start, end) in zip(surfaces, spans):
+            assert text[start:end] == surface
+
+    def test_single_mention(self):
+        rng = np.random.default_rng(0)
+        text, spans = compose_snippet_text(["nephrosis"], rng)
+        assert len(spans) == 1
+        start, end = spans[0]
+        assert text[start:end] == "nephrosis"

@@ -1,0 +1,126 @@
+"""Tests for metrics, error analysis helpers, and reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    PRF,
+    classify_logits,
+    format_table,
+    hits_at_k,
+    markdown_table,
+    mean_prf,
+    mean_reciprocal_rank,
+    precision_recall_f1,
+    prf_from_logits,
+    results_table,
+)
+
+
+class TestPRF:
+    def test_perfect(self):
+        prf = precision_recall_f1(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert prf == PRF(1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        labels = np.array([1, 1, 1, 0, 0])
+        preds = np.array([1, 1, 0, 1, 0])
+        prf = precision_recall_f1(labels, preds)
+        assert prf.precision == pytest.approx(2 / 3)
+        assert prf.recall == pytest.approx(2 / 3)
+        assert prf.f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_all_negative_predictions(self):
+        prf = precision_recall_f1(np.array([1, 1]), np.array([0, 0]))
+        assert prf == PRF(0.0, 0.0, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(np.array([1]), np.array([1, 0]))
+
+    def test_classify_logits_threshold(self):
+        preds = classify_logits(np.array([-5.0, 0.0, 5.0]), threshold=0.5)
+        np.testing.assert_array_equal(preds, [False, True, True])
+
+    def test_prf_from_logits(self):
+        prf = prf_from_logits(np.array([1, 0]), np.array([10.0, -10.0]))
+        assert prf.f1 == 1.0
+
+    def test_mean_prf(self):
+        mean = mean_prf([PRF(1, 1, 1), PRF(0, 0, 0)])
+        assert mean == PRF(0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            mean_prf([])
+
+    def test_as_dict_and_str(self):
+        prf = PRF(0.5, 0.25, 0.333)
+        assert prf.as_dict()["recall"] == 0.25
+        assert "F1=0.333" in str(prf)
+
+
+class TestRankingMetrics:
+    def test_hits_at_k(self):
+        ranked = [np.array([3, 1, 2]), np.array([9, 8, 7])]
+        assert hits_at_k(ranked, [1, 5], k=2) == 0.5
+        assert hits_at_k(ranked, [1, 5], k=3) == 0.5
+        assert hits_at_k([], [], k=1) == 0.0
+
+    def test_mrr(self):
+        ranked = [np.array([3, 1, 2]), np.array([5, 9])]
+        mrr = mean_reciprocal_rank(ranked, [1, 9])
+        assert mrr == pytest.approx((1 / 2 + 1 / 2) / 2)
+
+    def test_mrr_missing_gold_counts_zero(self):
+        assert mean_reciprocal_rank([np.array([1, 2])], [99]) == 0.0
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            hits_at_k([np.array([1])], [1, 2], k=1)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_results_table_includes_all(self):
+        results = {
+            "sys1": {"DS": PRF(0.5, 0.6, 0.55)},
+            "sys2": {"DS": PRF(0.7, 0.8, 0.75)},
+        }
+        out = results_table(results, title="Table 3")
+        assert "0.550" in out and "0.750" in out and "DS" in out
+
+    def test_results_table_missing_cell_dash(self):
+        results = {"sys1": {"A": PRF(1, 1, 1)}, "sys2": {}}
+        out = results_table(results, datasets=["A"])
+        assert "-" in out
+
+    def test_markdown_table(self):
+        md = markdown_table(["x"], [["1"]])
+        assert md.startswith("| x |")
+        assert "| 1 |" in md
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 50),
+    seed=st.integers(0, 2**16),
+)
+def test_property_f1_is_harmonic_mean(n, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    preds = rng.integers(0, 2, size=n)
+    prf = precision_recall_f1(labels, preds)
+    assert 0.0 <= prf.precision <= 1.0
+    assert 0.0 <= prf.recall <= 1.0
+    if prf.precision + prf.recall > 0:
+        expected = 2 * prf.precision * prf.recall / (prf.precision + prf.recall)
+        assert prf.f1 == pytest.approx(expected)
+    else:
+        assert prf.f1 == 0.0

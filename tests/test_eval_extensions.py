@@ -1,0 +1,204 @@
+"""Tests for bootstrap CIs, significance tests, the discrepancy
+classifier, and the per-class evaluation breakdown."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    bootstrap_prf,
+    discrepancy_breakdown,
+    mcnemar_test,
+    paired_permutation_test,
+    precision_recall_f1,
+)
+from repro.text import VariantKind, classify_discrepancy, edit_distance
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("nephrosis", "nephrosis") == 0
+
+    def test_empty_cases(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "") == 0
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.text(max_size=12), b=st.text(max_size=12))
+    def test_metric_properties(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)
+        assert d >= abs(len(a) - len(b))
+        assert d <= max(len(a), len(b))
+        assert (d == 0) == (a == b)
+
+
+class TestClassifyDiscrepancy:
+    def test_exact(self):
+        assert classify_discrepancy("nephrosis", "Nephrosis") == VariantKind.EXACT
+
+    def test_acronym(self):
+        assert (
+            classify_discrepancy("acute renal failure", "ARF") == VariantKind.ACRONYM
+        )
+
+    def test_synonym_from_aliases(self):
+        kind = classify_discrepancy(
+            "malignant hyperpyrexia", "malignant hyperthermia",
+            synonyms=("malignant hyperthermia",),
+        )
+        assert kind == VariantKind.SYNONYM
+
+    def test_abbreviation(self):
+        assert (
+            classify_discrepancy("chronic nephrotoxicity", "chronic neph.")
+            == VariantKind.ABBREVIATION
+        )
+
+    def test_simplification(self):
+        assert (
+            classify_discrepancy("chronic kidney disease", "kidney disease")
+            == VariantKind.SIMPLIFICATION
+        )
+
+    def test_typo(self):
+        assert classify_discrepancy("proteinuria", "protienuria") == VariantKind.TYPO
+
+    def test_unrelated_is_none(self):
+        assert classify_discrepancy("proteinuria", "gastroenteritis") is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_inverts_generators(self, seed):
+        """classify(generate(kind)) == kind for every applicable kind."""
+        from repro.text import applicable_kinds, generate_variant
+
+        rng = np.random.default_rng(seed)
+        names = [
+            "acute renal failure",
+            "chronic kidney disease",
+            "malignant hyperpyrexia",
+            "nephrotoxicity syndrome",
+            "severe congenital anemia",
+        ]
+        name = names[seed % len(names)]
+        synonyms = ("completely different alias",)
+        for kind in applicable_kinds(name, synonyms):
+            if kind == VariantKind.TYPO:
+                continue  # a typo\'d variant may coincide with another class
+            surface = generate_variant(name, kind, rng, synonyms=synonyms)
+            if surface is None or surface == name and kind != VariantKind.EXACT:
+                continue
+            got = classify_discrepancy(name, surface, synonyms)
+            assert got == kind, f"{kind}: {name!r} -> {surface!r} classified {got}"
+
+
+class TestBootstrap:
+    def _pairs(self, n=200, seed=0, accuracy=0.8):
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.5
+        flip = rng.random(n) > accuracy
+        predictions = np.where(flip, ~labels, labels)
+        return labels, predictions
+
+    def test_point_matches_prf(self):
+        labels, predictions = self._pairs()
+        result = bootstrap_prf(labels, predictions, n_resamples=100)
+        point = precision_recall_f1(labels, predictions)
+        assert result.f1.point == pytest.approx(point.f1)
+        assert result.precision.point == pytest.approx(point.precision)
+
+    def test_interval_contains_point(self):
+        labels, predictions = self._pairs()
+        result = bootstrap_prf(labels, predictions, n_resamples=200)
+        for ci in (result.precision, result.recall, result.f1):
+            assert ci.low - 1e-9 <= ci.point <= ci.high + 1e-9
+            assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_more_data_tightens_interval(self):
+        small = bootstrap_prf(*self._pairs(n=50), n_resamples=300, seed=1)
+        large = bootstrap_prf(*self._pairs(n=2000), n_resamples=300, seed=1)
+        assert large.f1.width < small.f1.width
+
+    def test_deterministic_given_seed(self):
+        labels, predictions = self._pairs()
+        a = bootstrap_prf(labels, predictions, n_resamples=50, seed=7)
+        b = bootstrap_prf(labels, predictions, n_resamples=50, seed=7)
+        assert a == b
+
+    def test_rejects_empty_and_misaligned(self):
+        with pytest.raises(ValueError):
+            bootstrap_prf(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_prf(np.array([True]), np.array([True, False]))
+        with pytest.raises(ValueError):
+            bootstrap_prf(np.array([True]), np.array([True]), confidence=1.5)
+
+
+class TestSignificance:
+    def test_identical_systems_not_significant(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(100) < 0.5
+        preds = labels.copy()
+        assert paired_permutation_test(labels, preds, preds) == 1.0
+        result = mcnemar_test(labels, preds, preds)
+        assert result["p_value"] == 1.0
+        assert result["only_a"] == result["only_b"] == 0
+
+    def test_clearly_better_system_significant(self):
+        rng = np.random.default_rng(1)
+        labels = rng.random(400) < 0.5
+        good = np.where(rng.random(400) < 0.95, labels, ~labels)
+        bad = np.where(rng.random(400) < 0.55, labels, ~labels)
+        assert paired_permutation_test(labels, good, bad, n_permutations=300) < 0.05
+        assert mcnemar_test(labels, good, bad)["p_value"] < 0.05
+
+    def test_mcnemar_counts_discordant(self):
+        labels = np.array([True, True, False, False])
+        a = np.array([True, False, False, True])  # right on 0,2; wrong on 1,3
+        b = np.array([True, True, True, True])  # right on 0,1; wrong on 2,3
+        result = mcnemar_test(labels, a, b)
+        assert result["only_a"] == 1  # pair 2
+        assert result["only_b"] == 1  # pair 1
+
+    def test_permutation_pvalue_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        labels = rng.random(50) < 0.5
+        a = rng.random(50) < 0.5
+        b = rng.random(50) < 0.5
+        p = paired_permutation_test(labels, a, b, n_permutations=100)
+        assert 0.0 < p <= 1.0
+
+
+class TestDiscrepancyBreakdown:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.eval.evaluator import run_system
+
+        return run_system("NCBI", "graphsage", epochs=2, scale=0.2)
+
+    def test_covers_all_positive_pairs(self, run):
+        from repro.datasets import load_dataset
+
+        kb = run.pipeline.kb
+        breakdown = discrepancy_breakdown(run.test_records, kb)
+        positives = sum(1 for r in run.test_records if r.label == 1)
+        assert breakdown.total == positives
+
+    def test_accuracy_bounds_and_rows(self, run):
+        breakdown = discrepancy_breakdown(run.test_records, run.pipeline.kb)
+        assert 0.0 <= breakdown.overall_accuracy <= 1.0
+        for row in breakdown.rows():
+            assert len(row) == 3
+            assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_known_classes_present(self, run):
+        """The NCBI profile mixes all five discrepancy kinds; at least
+        acronyms and synonyms must appear in a 100+ snippet test set."""
+        breakdown = discrepancy_breakdown(run.test_records, run.pipeline.kb)
+        assert VariantKind.ACRONYM.value in breakdown.classes

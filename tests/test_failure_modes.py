@@ -1,0 +1,185 @@
+"""Failure-injection tests: corrupted inputs, empty splits, dimension
+mismatches, unseen surfaces — the error paths a production consumer of
+the library hits first."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EDGNN,
+    EDPipeline,
+    EDGNNTrainer,
+    ModelConfig,
+    TrainConfig,
+    build_query_graph,
+)
+from repro.datasets import load_dataset
+from repro.graph import HeteroGraph, InvertedIndex, medical_schema
+from repro.text import (
+    HashingNgramEmbedder,
+    MentionAnnotation,
+    Snippet,
+    node_features_for_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return load_dataset("NCBI", scale=0.2, use_cache=False)
+
+
+@pytest.fixture
+def toy_kb():
+    kb = HeteroGraph(medical_schema())
+    a = kb.add_node("Drug", "aspirin")
+    b = kb.add_node("AdverseEffect", "nausea")
+    kb.add_edge_by_name(a, b, "CAUSE")
+    return kb
+
+
+class TestGraphCorruption:
+    def test_edge_to_missing_node_rejected(self, toy_kb):
+        with pytest.raises(IndexError, match="missing node"):
+            toy_kb.add_edge(0, 99, 0)
+
+    def test_unknown_relation_rejected(self, toy_kb):
+        with pytest.raises(IndexError, match="unknown relation"):
+            toy_kb.add_edge(0, 1, 42)
+
+    def test_unknown_node_type_rejected(self, toy_kb):
+        with pytest.raises(KeyError):
+            toy_kb.add_node("Spaceship", "enterprise")
+
+    def test_feature_row_mismatch_rejected(self, toy_kb):
+        with pytest.raises(ValueError, match="features rows"):
+            toy_kb.set_features(np.zeros((99, 4), dtype=np.float32))
+
+    def test_incompatible_relation_signature_rejected(self, toy_kb):
+        # TREAT joins Drug->Symptom; nausea is an AdverseEffect.
+        with pytest.raises(KeyError):
+            toy_kb.add_edge_by_name(0, 1, "TREAT")
+
+
+class TestPipelineGuards:
+    def test_embedder_dim_must_match_model(self, toy_kb):
+        with pytest.raises(ValueError, match="embedder dim"):
+            EDPipeline(
+                toy_kb,
+                model_config=ModelConfig(variant="graphsage", feature_dim=64),
+                embedder=HashingNgramEmbedder(dim=32),
+            )
+
+    def test_empty_split_rejected(self, small_dataset):
+        pipeline = EDPipeline(
+            small_dataset.kb,
+            model_config=ModelConfig(variant="graphsage", num_layers=1, feature_dim=32, hidden_dim=32),
+            train_config=TrainConfig(epochs=1),
+            embedder=HashingNgramEmbedder(dim=32),
+        )
+        with pytest.raises(ValueError, match="no query graphs"):
+            pipeline.fit([], small_dataset.val, small_dataset.test)
+
+    def test_no_mentions_in_text_rejected(self, small_dataset):
+        pipeline = EDPipeline(
+            small_dataset.kb,
+            model_config=ModelConfig(variant="graphsage", num_layers=1, feature_dim=32, hidden_dim=32),
+            embedder=HashingNgramEmbedder(dim=32),
+        )
+        with pytest.raises(ValueError, match="no entity mentions"):
+            pipeline.snippet_from_text("the quick brown fox jumps")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            ModelConfig(variant="transformer")
+
+    def test_unseen_mention_falls_back_to_type_candidates(self, small_dataset):
+        """A surface absent from the index must still rank candidates."""
+        pipeline = EDPipeline(
+            small_dataset.kb,
+            model_config=ModelConfig(variant="graphsage", num_layers=1, feature_dim=32, hidden_dim=32),
+            train_config=TrainConfig(epochs=1, patience=1),
+            embedder=HashingNgramEmbedder(dim=32),
+        )
+        pipeline.fit(small_dataset.train, small_dataset.val, small_dataset.test)
+        known = small_dataset.kb.node_name(0)
+        text = f"Observed {known} and totally novel mystery disorder here."
+        snippet = pipeline.snippet_from_text(text)
+        prediction = pipeline.disambiguate_snippet(snippet, top_k=3)
+        assert prediction.ranked_entities
+
+
+class TestTrainerGuards:
+    def test_ref_graph_needs_features(self, toy_kb, small_dataset):
+        model = EDGNN(
+            ModelConfig(variant="graphsage", num_layers=1, feature_dim=16, hidden_dim=16),
+            toy_kb.schema,
+        )
+        with pytest.raises(ValueError, match="features"):
+            EDGNNTrainer(model, toy_kb, [], [], [])
+
+    def test_eval_graph_without_gold_rejected(self, toy_kb):
+        toy_kb.set_features(node_features_for_graph(toy_kb, HashingNgramEmbedder(dim=16)))
+        index = InvertedIndex(toy_kb)
+        embedder = HashingNgramEmbedder(dim=16)
+        snippet = Snippet(
+            text="aspirin with nausea",
+            mentions=[
+                MentionAnnotation("aspirin", 0, 7, "Drug", ""),
+                MentionAnnotation("nausea", 13, 19, "AdverseEffect", "C0000001"),
+            ],
+            ambiguous_index=0,
+        )
+        qg = build_query_graph(snippet, toy_kb, index, embedder, augment=False)
+        assert qg.gold_entity is None  # inference-style graph
+        model = EDGNN(
+            ModelConfig(variant="graphsage", num_layers=1, feature_dim=16, hidden_dim=16),
+            toy_kb.schema,
+        )
+        with pytest.raises(ValueError, match="gold"):
+            EDGNNTrainer(model, toy_kb, [qg], [qg], [qg])
+
+
+class TestEncoderGuards:
+    def test_feature_dim_mismatch_rejected(self, toy_kb):
+        from repro.gnn import GraphSAGE
+
+        toy_kb.set_features(np.zeros((toy_kb.num_nodes, 8), dtype=np.float32))
+        enc = GraphSAGE(16, 16, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="feature dim"):
+            enc.encode(toy_kb)
+
+    def test_missing_features_rejected(self, toy_kb):
+        from repro.gnn import GraphSAGE
+
+        enc = GraphSAGE(16, 16, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="no features"):
+            enc.encode(toy_kb)
+
+
+class TestCorpusValidation:
+    def test_validate_snippet_flags_bad_spans(self):
+        from repro.text import validate_snippet
+
+        snippet = Snippet(
+            text="short",
+            mentions=[MentionAnnotation("missing mention", 0, 15, "Drug", "C0000000")],
+            ambiguous_index=0,
+        )
+        problems = validate_snippet(snippet)
+        assert problems  # span exceeds text / surface mismatch
+
+    def test_load_snippets_round_trip_empty(self, tmp_path):
+        from repro.text import load_snippets, save_snippets
+
+        path = str(tmp_path / "empty.jsonl")
+        save_snippets([], path)
+        assert load_snippets(path) == []
+
+    def test_ambiguous_index_out_of_range(self):
+        with pytest.raises((IndexError, ValueError)):
+            snippet = Snippet(
+                text="aspirin",
+                mentions=[MentionAnnotation("aspirin", 0, 7, "Drug", "C0000000")],
+                ambiguous_index=5,
+            )
+            _ = snippet.ambiguous_mention

@@ -1,0 +1,356 @@
+"""Tests for the seven GNN encoders: shapes, gradients, masking, and the
+aggregation semantics each architecture promises."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.gnn import (
+    GAT,
+    GCN,
+    HAN,
+    MAGNN,
+    RGCN,
+    GraphSAGE,
+    HetGNN,
+    RelationalRotationEncoder,
+)
+from repro.graph import HeteroGraph, Metapath, medical_schema
+from repro.text import HashingNgramEmbedder, node_features_for_graph
+
+DIM = 16
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(5)
+    schema = medical_schema()
+    g = HeteroGraph(schema)
+    for t in schema.node_types:
+        for i in range(6):
+            g.add_node(t, f"{t.lower()} number {i}")
+    for _ in range(60):
+        rel_id = int(rng.integers(0, schema.num_relations))
+        rel = schema.relation(rel_id)
+        s = int(rng.choice(g.nodes_of_type(rel.src_type)))
+        d = int(rng.choice(g.nodes_of_type(rel.dst_type)))
+        if s != d:
+            g.add_edge(s, d, rel_id)
+    g.set_features(node_features_for_graph(g, HashingNgramEmbedder(dim=DIM)))
+    return g
+
+
+def build(kind, graph, layers=2):
+    rng = np.random.default_rng(0)
+    schema = graph.schema
+    if kind == "sage":
+        return GraphSAGE(DIM, DIM, layers, rng)
+    if kind == "rgcn":
+        return RGCN(DIM, DIM, layers, schema.num_relations, rng)
+    if kind == "magnn":
+        return MAGNN(DIM, DIM, layers, schema, rng, num_heads=2, attention_dim=8)
+    if kind == "gcn":
+        return GCN(DIM, DIM, layers, rng)
+    if kind == "gat":
+        return GAT(DIM, DIM, layers, rng, num_heads=2)
+    if kind == "han":
+        return HAN(DIM, DIM, layers, schema, rng, num_heads=2, attention_dim=8)
+    if kind == "hetgnn":
+        return HetGNN(DIM, DIM, layers, schema, rng)
+    raise ValueError(kind)
+
+
+ALL_KINDS = ["sage", "rgcn", "magnn", "gcn", "gat", "han", "hetgnn"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestCommonBehaviour:
+    def test_output_shape(self, graph, kind):
+        enc = build(kind, graph)
+        out = enc.encode(graph)
+        assert out.shape == (graph.num_nodes, DIM)
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradients_reach_all_parameters(self, graph, kind):
+        enc = build(kind, graph)
+        enc.train()
+        out = enc.encode(graph)
+        (out * out).mean().backward()
+        missing = [n for n, p in enc.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for {missing}"
+
+    def test_eval_deterministic(self, graph, kind):
+        enc = build(kind, graph)
+        enc.eval()
+        with no_grad():
+            a = enc.encode(graph).data
+            b = enc.encode(graph).data
+        np.testing.assert_allclose(a, b)
+
+    def test_single_layer_works(self, graph, kind):
+        enc = build(kind, graph, layers=1)
+        assert enc.encode(graph).shape == (graph.num_nodes, DIM)
+
+    def test_zero_layers_rejected(self, graph, kind):
+        with pytest.raises(ValueError):
+            build(kind, graph, layers=0)
+
+    def test_full_mask_matches_no_mask(self, graph, kind):
+        """edge_mask of all ones must reproduce the unmasked output."""
+        enc = build(kind, graph)
+        enc.eval()
+        compiled = enc.compile(graph)
+        feats = Tensor(graph.features)
+        with no_grad():
+            base = enc.forward(compiled, feats).data
+            if kind == "magnn":
+                mask = Tensor(np.ones(graph.num_edges, dtype=np.float32))
+            else:
+                mask = enc.expand_edge_mask(
+                    compiled, Tensor(np.ones(graph.num_edges, dtype=np.float32))
+                )
+            masked = enc.forward(compiled, feats, mask).data
+        np.testing.assert_allclose(base, masked, atol=1e-5)
+
+
+class TestNumericalGradients:
+    """Finite-difference verification of the full encoder backward pass
+    w.r.t. the input features — the correctness anchor on top of the
+    per-op gradchecks in test_autograd_ops."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_feature_gradients_match_finite_differences(self, graph, kind):
+        from repro.autograd import check_gradients
+
+        enc = build(kind, graph, layers=1)
+        enc.eval()  # dropout off: fn must be deterministic
+        compiled = enc.compile(graph)
+        features = Tensor(
+            graph.features.astype(np.float64), requires_grad=True
+        )
+        check_gradients(
+            lambda x: enc.forward(compiled, x).sum(),
+            [features],
+            atol=5e-3,
+            rtol=5e-2,
+        )
+
+
+class TestGraphSAGESemantics:
+    def test_isolated_node_keeps_self_features(self, graph):
+        """With no neighbours the aggregated term is zero but the self
+        half of the concatenation still produces output."""
+        iso = graph.add_node("Drug", "isolated drug")
+        feats = np.vstack([graph.features, np.ones((1, DIM), dtype=np.float32)])
+        graph.set_features(feats.astype(np.float32))
+        enc = build("sage", graph)
+        enc.eval()
+        out = enc.encode(graph)
+        assert np.all(np.isfinite(out.data[iso]))
+
+    def test_outputs_l2_normalized(self, graph):
+        enc = build("sage", graph)
+        enc.eval()
+        out = enc.encode(graph).data
+        norms = np.linalg.norm(out, axis=1)
+        np.testing.assert_allclose(norms[norms > 1e-6], 1.0, atol=1e-4)
+
+
+class TestRGCNSemantics:
+    def test_relation_specific_weights_differ(self, graph):
+        """Permuting relation labels changes the output (GraphSAGE would
+        not notice) — the relation-awareness the ablation relies on."""
+        enc = build("rgcn", graph)
+        enc.eval()
+        with no_grad():
+            base = enc.encode(graph).data
+        # Swap all edges of relation 0 and 1.
+        permuted = graph.copy()
+        src, dst, et = graph.edges()
+        permuted._etypes = [1 if r == 0 else 0 if r == 1 else r for r in et.tolist()]
+        permuted._invalidate()
+        permuted.set_features(graph.features)
+        with no_grad():
+            swapped = enc.encode(permuted).data
+        assert not np.allclose(base, swapped, atol=1e-5)
+
+    def test_basis_decomposition_shrinks_params(self, graph):
+        rng = np.random.default_rng(0)
+        full = RGCN(DIM, DIM, 1, graph.schema.num_relations, rng)
+        based = RGCN(
+            DIM, DIM, 1, graph.schema.num_relations, np.random.default_rng(0), num_bases=2
+        )
+        assert based.num_parameters() < full.num_parameters()
+        assert based.encode(graph).shape == (graph.num_nodes, DIM)
+
+    def test_relation_count_mismatch_rejected(self, graph):
+        rng = np.random.default_rng(0)
+        enc = RGCN(DIM, DIM, 1, 99, rng)
+        with pytest.raises(ValueError):
+            enc.compile(graph)
+
+
+class TestMAGNNSemantics:
+    def test_rotation_encoder_shapes(self):
+        rng = np.random.default_rng(0)
+        enc = RelationalRotationEncoder(8, 3, rng)
+        hops = [Tensor(rng.standard_normal((5, 8)).astype(np.float32)) for _ in range(3)]
+        assert enc(hops).shape == (5, 8)
+
+    def test_rotation_encoder_rejects_odd_dim(self):
+        with pytest.raises(ValueError):
+            RelationalRotationEncoder(7, 2, np.random.default_rng(0))
+
+    def test_explicit_metapaths_used(self, graph):
+        rng = np.random.default_rng(0)
+        mps = [Metapath(("Drug", "AdverseEffect"))]
+        enc = MAGNN(DIM, DIM, 1, graph.schema, rng, metapaths=mps, attention_dim=8)
+        assert enc.metapaths == mps
+        assert enc.encode(graph).shape == (graph.num_nodes, DIM)
+
+    def test_needs_at_least_one_metapath(self, graph):
+        with pytest.raises(ValueError):
+            MAGNN(DIM, DIM, 1, graph.schema, np.random.default_rng(0), metapaths=[])
+
+    def test_mask_zero_changes_connected_nodes(self, graph):
+        """Zeroing all edge masks removes metapath context entirely."""
+        enc = build("magnn", graph)
+        enc.eval()
+        compiled = enc.compile(graph)
+        feats = Tensor(graph.features)
+        with no_grad():
+            base = enc.forward(compiled, feats).data
+            zeroed = enc.forward(
+                compiled, feats, Tensor(np.zeros(graph.num_edges, dtype=np.float32))
+            ).data
+        assert not np.allclose(base, zeroed, atol=1e-4)
+
+
+class TestHANSemantics:
+    def test_explicit_metapaths_used(self, graph):
+        rng = np.random.default_rng(0)
+        mps = [Metapath(("Drug", "AdverseEffect"))]
+        enc = HAN(DIM, DIM, 1, graph.schema, rng, metapaths=mps, attention_dim=8)
+        assert enc.metapaths == mps
+        assert enc.encode(graph).shape == (graph.num_nodes, DIM)
+
+    def test_needs_at_least_one_metapath(self, graph):
+        with pytest.raises(ValueError):
+            HAN(DIM, DIM, 1, graph.schema, np.random.default_rng(0), metapaths=[])
+
+    def test_uses_only_endpoints(self, graph):
+        """HAN's compiled structure keeps (target, neighbour) endpoint
+        pairs — the metapath-based neighbours of Definition 2.4."""
+        enc = build("han", graph)
+        compiled = enc.compile(graph)
+        for targets, neighbors in zip(compiled.targets, compiled.neighbors):
+            assert targets.shape == neighbors.shape
+
+    def test_mask_zero_changes_connected_nodes(self, graph):
+        enc = build("han", graph)
+        enc.eval()
+        compiled = enc.compile(graph)
+        feats = Tensor(graph.features)
+        with no_grad():
+            base = enc.forward(compiled, feats).data
+            zeroed = enc.forward(
+                compiled, feats, Tensor(np.zeros(graph.num_edges, dtype=np.float32))
+            ).data
+        assert not np.allclose(base, zeroed, atol=1e-4)
+
+    def test_semantic_attention_mixes_metapaths(self, graph):
+        """Different metapath sets produce different embeddings."""
+        rng = np.random.default_rng(0)
+        one = HAN(
+            DIM, DIM, 1, graph.schema, np.random.default_rng(0),
+            metapaths=[Metapath(("Drug", "AdverseEffect"))], attention_dim=8,
+        )
+        two = HAN(
+            DIM, DIM, 1, graph.schema, np.random.default_rng(0),
+            metapaths=[
+                Metapath(("Drug", "AdverseEffect")),
+                Metapath(("Drug", "AdverseEffect", "Finding")),
+            ],
+            attention_dim=8,
+        )
+        one.eval(), two.eval()
+        with no_grad():
+            a = one.encode(graph).data
+            b = two.encode(graph).data
+        drugs = graph.nodes_of_type("Drug")
+        assert not np.allclose(a[drugs], b[drugs], atol=1e-5)
+
+
+class TestHetGNNSemantics:
+    def test_isolated_node_still_embedded(self, graph):
+        iso = graph.add_node("Drug", "isolated drug")
+        feats = np.vstack([graph.features, np.ones((1, DIM), dtype=np.float32)])
+        graph.set_features(feats.astype(np.float32))
+        enc = build("hetgnn", graph)
+        enc.eval()
+        out = enc.encode(graph)
+        assert np.all(np.isfinite(out.data[iso]))
+        assert np.linalg.norm(out.data[iso]) > 1e-6
+
+    def test_type_aware_grouping(self, graph):
+        """The compiled structure groups bidirected messages by the
+        sender's node type."""
+        enc = build("hetgnn", graph)
+        compiled = enc.compile(graph)
+        types = graph.node_types
+        for type_id, group in enumerate(compiled.by_type):
+            if group is None:
+                continue
+            src, _, _ = group
+            assert np.all(types[src] == type_id)
+
+    def test_ignores_relation_types(self, graph):
+        """HetGNN aggregates by *node* type only — relabeling edge
+        relations leaves the output unchanged."""
+        enc = build("hetgnn", graph)
+        enc.eval()
+        with no_grad():
+            base = enc.encode(graph).data
+        permuted = graph.copy()
+        _, _, et = graph.edges()
+        permuted._etypes = [(r + 1) % graph.schema.num_relations for r in et.tolist()]
+        permuted._invalidate()
+        permuted.set_features(graph.features)
+        with no_grad():
+            swapped = enc.encode(permuted).data
+        np.testing.assert_allclose(base, swapped, atol=1e-5)
+
+    def test_mask_zero_changes_connected_nodes(self, graph):
+        enc = build("hetgnn", graph)
+        enc.eval()
+        compiled = enc.compile(graph)
+        feats = Tensor(graph.features)
+        with no_grad():
+            base = enc.forward(compiled, feats).data
+            zeroed = enc.forward(
+                compiled, feats, Tensor(np.zeros(graph.num_edges, dtype=np.float32))
+            ).data
+        assert not np.allclose(base, zeroed, atol=1e-4)
+
+
+class TestGCNSemantics:
+    def test_symmetric_normalization_weights(self, graph):
+        enc = build("gcn", graph)
+        compiled = enc.compile(graph)
+        assert np.all(compiled.edge_weight > 0)
+        assert np.all(compiled.edge_weight <= 1.0 + 1e-6)
+
+    def test_ignores_relation_types(self, graph):
+        """GCN output is invariant to relabeling edge types."""
+        enc = build("gcn", graph)
+        enc.eval()
+        with no_grad():
+            base = enc.encode(graph).data
+        permuted = graph.copy()
+        _, _, et = graph.edges()
+        permuted._etypes = [(r + 1) % graph.schema.num_relations for r in et.tolist()]
+        permuted._invalidate()
+        permuted.set_features(graph.features)
+        with no_grad():
+            swapped = enc.encode(permuted).data
+        np.testing.assert_allclose(base, swapped, atol=1e-5)

@@ -1,0 +1,225 @@
+"""Tests for metapaths, traversal, batching, the inverted index, and IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    HeteroGraph,
+    InvertedIndex,
+    Metapath,
+    batch_graphs,
+    connected_components,
+    default_metapaths,
+    derive_acronym,
+    ego_subgraph,
+    enumerate_instances,
+    graph_from_dict,
+    graph_to_dict,
+    induced_subgraph,
+    k_hop_nodes,
+    load_graph,
+    medical_schema,
+    normalize_surface,
+    random_walk,
+    save_graph,
+    shortest_path_length,
+    unbatch_node_ids,
+)
+from repro.graph.metapath import select_metapaths
+
+
+@pytest.fixture
+def toy():
+    g = HeteroGraph(medical_schema())
+    g.aspirin = g.add_node("Drug", "aspirin")
+    g.metformin = g.add_node("Drug", "metformin")
+    g.nausea = g.add_node("AdverseEffect", "nausea")
+    g.diarrhea = g.add_node("AdverseEffect", "diarrhea")
+    g.fever = g.add_node("Finding", "fever")
+    g.arf = g.add_node("Finding", "acute renal failure", aliases=("ARF",))
+    g.arf2 = g.add_node("Finding", "acute respiratory failure")
+    g.add_edge_by_name(g.aspirin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.metformin, g.diarrhea, "CAUSE")
+    g.add_edge_by_name(g.diarrhea, g.fever, "HAS")
+    g.add_edge_by_name(g.nausea, g.arf, "HAS")
+    return g
+
+
+class TestMetapath:
+    def test_requires_two_types(self):
+        with pytest.raises(ValueError):
+            Metapath(("Drug",))
+
+    def test_abbreviation_and_target(self):
+        mp = Metapath(("Drug", "AdverseEffect", "Finding"))
+        assert mp.abbreviation == "DAF"
+        assert mp.target_type == "Drug"
+        assert mp.length == 3
+
+    def test_enumerate_paper_example(self, toy):
+        mp = Metapath(("Drug", "AdverseEffect", "Finding"))
+        inst = enumerate_instances(toy, mp)
+        paths = inst.paths.tolist()
+        assert [toy.metformin, toy.diarrhea, toy.fever] in paths
+        assert [toy.aspirin, toy.nausea, toy.arf] in paths
+        np.testing.assert_array_equal(inst.targets, inst.paths[:, 0])
+
+    def test_enumeration_is_undirected(self, toy):
+        # Finding-AdverseEffect traverses HAS edges backwards.
+        inst = enumerate_instances(toy, Metapath(("Finding", "AdverseEffect")))
+        assert [toy.fever, toy.diarrhea] in inst.paths.tolist()
+
+    def test_cap_respected(self, toy):
+        # Add many findings to nausea to exceed the cap.
+        for i in range(10):
+            f = toy.add_node("Finding", f"finding {i}")
+            toy.add_edge_by_name(toy.nausea, f, "HAS")
+        inst = enumerate_instances(
+            toy, Metapath(("AdverseEffect", "Finding")), max_instances_per_node=4
+        )
+        per_target = np.bincount(inst.targets, minlength=toy.num_nodes)
+        assert per_target.max() <= 4
+
+    def test_no_instances_empty_matrix(self, toy):
+        inst = enumerate_instances(toy, Metapath(("Symptom", "Drug")))
+        assert inst.num_instances == 0
+        assert inst.paths.shape == (0, 2)
+
+    def test_default_metapaths_cover_pairs(self):
+        schema = medical_schema()
+        mps = default_metapaths(schema)
+        pair_strs = {str(m) for m in mps if m.length == 2}
+        assert "Drug-AdverseEffect" in pair_strs
+        assert "AdverseEffect-Drug" in pair_strs
+
+    def test_select_metapaths_pairs_first(self, toy):
+        selected = select_metapaths(toy, max_metapaths=10)
+        observed_pairs = {str(m) for m in selected if m.length == 2}
+        # Every observed type pair must be present as a 2-metapath.
+        assert "Drug-AdverseEffect" in observed_pairs
+        assert "AdverseEffect-Finding" in observed_pairs
+        assert len(selected) <= 10
+
+
+class TestTraversal:
+    def test_k_hop(self, toy):
+        hops1 = set(k_hop_nodes(toy, toy.aspirin, 1).tolist())
+        assert hops1 == {toy.aspirin, toy.nausea}
+        hops2 = set(k_hop_nodes(toy, toy.aspirin, 2).tolist())
+        assert toy.arf in hops2
+
+    def test_ego_subgraph_maps_ids(self, toy):
+        sub, mapping = ego_subgraph(toy, toy.aspirin, 2)
+        assert sub.num_nodes == 3
+        assert sub.node_name(mapping[toy.arf]) == "acute renal failure"
+        # Edges survive with their relations.
+        rel = sub.edge_between(mapping[toy.nausea], mapping[toy.arf])
+        assert sub.schema.relation(rel).name == "HAS"
+
+    def test_induced_subgraph_keeps_features(self, toy):
+        toy.set_features(np.arange(toy.num_nodes * 2, dtype=np.float32).reshape(-1, 2))
+        sub, mapping = induced_subgraph(toy, np.array([toy.aspirin, toy.nausea]))
+        np.testing.assert_allclose(sub.features[mapping[toy.nausea]], toy.features[toy.nausea])
+
+    def test_connected_components(self, toy):
+        comps = connected_components(toy)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 3, 3]  # arf2 isolated; two 3-node chains
+
+    def test_shortest_path(self, toy):
+        assert shortest_path_length(toy, toy.aspirin, toy.arf) == 2
+        assert shortest_path_length(toy, toy.aspirin, toy.arf2) is None
+        assert shortest_path_length(toy, toy.aspirin, toy.aspirin) == 0
+        assert shortest_path_length(toy, toy.aspirin, toy.arf, cutoff=1) is None
+
+    def test_random_walk_stays_on_graph(self, toy):
+        rng = np.random.default_rng(0)
+        walk = random_walk(toy, toy.aspirin, 5, rng)
+        assert walk[0] == toy.aspirin
+        for a, b in zip(walk, walk[1:]):
+            assert b in toy.neighbors(a).tolist()
+
+
+class TestBatching:
+    def test_disjoint_union(self, toy):
+        union, offsets = batch_graphs([toy, toy])
+        assert union.num_nodes == 2 * toy.num_nodes
+        assert union.num_edges == 2 * toy.num_edges
+        assert offsets == [0, toy.num_nodes]
+
+    def test_unbatch_ids(self, toy):
+        _, offsets = batch_graphs([toy, toy])
+        ids = unbatch_node_ids(offsets, 1, [0, 2])
+        np.testing.assert_array_equal(ids, [toy.num_nodes, toy.num_nodes + 2])
+
+    def test_features_stacked(self, toy):
+        toy.set_features(np.ones((toy.num_nodes, 3), dtype=np.float32))
+        union, _ = batch_graphs([toy, toy])
+        assert union.features.shape == (2 * toy.num_nodes, 3)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+
+class TestInvertedIndex:
+    def test_exact_and_alias_lookup(self, toy):
+        idx = InvertedIndex(toy)
+        assert idx.lookup("Aspirin") == [toy.aspirin]
+        assert idx.lookup("acute renal failure") == [toy.arf]
+        # Alias "ARF" on arf + derived acronym of arf2.
+        assert set(idx.lookup("ARF")) == {toy.arf, toy.arf2}
+
+    def test_ambiguity_detection(self, toy):
+        idx = InvertedIndex(toy)
+        assert idx.is_ambiguous("ARF")
+        assert not idx.is_ambiguous("aspirin")
+        assert idx.lookup_unique("aspirin") == toy.aspirin
+        assert idx.lookup_unique("ARF") is None
+
+    def test_unknown_surface_empty(self, toy):
+        assert InvertedIndex(toy).lookup("penicillin") == []
+
+    def test_candidate_types(self, toy):
+        idx = InvertedIndex(toy)
+        assert idx.candidate_types("ARF") == ["Finding"]
+
+    def test_normalization(self):
+        assert normalize_surface("  Acute    RENAL-failure! ") == "acute renal failure"
+
+    def test_derive_acronym(self):
+        assert derive_acronym("acute renal failure") == "arf"
+        assert derive_acronym("aspirin") == ""
+
+
+class TestIO:
+    def test_dict_roundtrip(self, toy):
+        clone = graph_from_dict(graph_to_dict(toy))
+        assert clone.num_nodes == toy.num_nodes
+        assert clone.num_edges == toy.num_edges
+        assert clone.node_name(toy.arf) == "acute renal failure"
+        assert clone.node_aliases(toy.arf) == ("ARF",)
+
+    def test_file_roundtrip_with_features(self, toy, tmp_path):
+        toy.set_features(np.random.default_rng(0).random((toy.num_nodes, 4)).astype(np.float32))
+        path = str(tmp_path / "kb.json")
+        save_graph(toy, path)
+        loaded = load_graph(path)
+        np.testing.assert_allclose(loaded.features, toy.features)
+        src_a, dst_a, et_a = toy.edges()
+        src_b, dst_b, et_b = loaded.edges()
+        np.testing.assert_array_equal(src_a, src_b)
+        np.testing.assert_array_equal(et_a, et_b)
+
+    def test_node_edge_lists(self, toy, tmp_path):
+        from repro.graph import read_edge_list, write_edge_list, write_node_list
+
+        npath, epath = str(tmp_path / "nodes.tsv"), str(tmp_path / "edges.tsv")
+        write_node_list(toy, npath)
+        write_edge_list(toy, epath)
+        heads, tails, names = read_edge_list(epath, toy.schema)
+        assert len(heads) == toy.num_edges
+        assert "CAUSE" in names
+        with open(npath) as fh:
+            lines = fh.readlines()
+        assert len(lines) == toy.num_nodes + 1  # header

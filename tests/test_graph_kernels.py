@@ -1,0 +1,238 @@
+"""Tests for the Section 3.2 structural-similarity survey
+(`repro.graph.kernels`): MCS, WL subtree kernel, Hungarian-assignment GED,
+and the metric factory used by the negative sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    STRUCTURAL_METRICS,
+    HeteroGraph,
+    McsSimilarity,
+    WeisfeilerLehmanKernel,
+    hungarian_ged_similarity,
+    make_structural_metric,
+    mcs_similarity,
+    medical_schema,
+    normalized_ged_similarity,
+)
+
+
+@pytest.fixture
+def toy():
+    g = HeteroGraph(medical_schema())
+    g.aspirin = g.add_node("Drug", "aspirin")
+    g.ibuprofen = g.add_node("Drug", "ibuprofen")
+    g.metformin = g.add_node("Drug", "metformin")
+    g.nausea = g.add_node("AdverseEffect", "nausea")
+    g.vomiting = g.add_node("AdverseEffect", "vomiting")  # isolated
+    g.fever = g.add_node("Finding", "fever")
+    g.headache = g.add_node("Symptom", "headache")
+    g.isolated = g.add_node("Finding", "isolated finding")
+    g.lonely = g.add_node("Finding", "another isolated finding")
+    # Stars are labelled (relation, neighbour): aspirin and ibuprofen
+    # have identical stars (both CAUSE the *same* nausea node);
+    # metformin shares that incidence but adds TREAT->headache.
+    g.add_edge_by_name(g.aspirin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.ibuprofen, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.metformin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.metformin, g.headache, "TREAT")
+    g.add_edge_by_name(g.nausea, g.fever, "HAS")
+    return g
+
+
+def random_hetero_graph(rng_seed: int, n_nodes: int, n_edges: int) -> HeteroGraph:
+    """Seeded random typed graph for property tests."""
+    rng = np.random.default_rng(rng_seed)
+    schema = medical_schema()
+    g = HeteroGraph(schema)
+    types = ["Drug", "AdverseEffect", "Symptom", "Finding"]
+    for i in range(n_nodes):
+        g.add_node(types[rng.integers(len(types))], f"node {i}")
+    tries = 0
+    while g.num_edges < n_edges and tries < 10 * n_edges:
+        tries += 1
+        u = int(rng.integers(n_nodes))
+        v = int(rng.integers(n_nodes))
+        if u == v:
+            continue
+        rels = schema.relations_touching(g.node_type_name(u))
+        if not rels:
+            continue
+        g.add_edge(u, v, int(rng.choice(rels)))
+    return g
+
+
+class TestMcs:
+    def test_identical_stars_score_one(self, toy):
+        assert mcs_similarity(toy, toy.aspirin, toy.ibuprofen) == pytest.approx(1.0)
+
+    def test_self_similarity_is_one(self, toy):
+        for node in range(toy.num_nodes):
+            assert mcs_similarity(toy, node, node) == pytest.approx(1.0)
+
+    def test_partial_overlap_in_between(self, toy):
+        # metformin shares the CAUSE->nausea incidence with aspirin but
+        # adds a TREAT->headache one: MCS = 1 of max(1, 2) incidences.
+        sim = mcs_similarity(toy, toy.aspirin, toy.metformin)
+        assert sim == pytest.approx(0.5)
+
+    def test_isolated_pair_is_identical(self, toy):
+        assert mcs_similarity(toy, toy.isolated, toy.lonely) == pytest.approx(1.0)
+
+    def test_isolated_vs_connected_is_zero(self, toy):
+        assert mcs_similarity(toy, toy.isolated, toy.aspirin) == pytest.approx(0.0)
+
+    def test_cached_class_matches_function(self, toy):
+        cached = McsSimilarity(toy)
+        for u in range(toy.num_nodes):
+            for v in range(toy.num_nodes):
+                assert cached.similarity(u, v) == pytest.approx(mcs_similarity(toy, u, v))
+
+
+class TestWeisfeilerLehman:
+    def test_self_similarity_is_one(self, toy):
+        wl = WeisfeilerLehmanKernel(toy)
+        for node in range(toy.num_nodes):
+            assert wl.similarity(node, node) == pytest.approx(1.0)
+
+    def test_symmetric(self, toy):
+        wl = WeisfeilerLehmanKernel(toy)
+        for u in range(toy.num_nodes):
+            for v in range(toy.num_nodes):
+                assert wl.similarity(u, v) == pytest.approx(wl.similarity(v, u))
+
+    def test_identical_neighborhoods_score_high(self, toy):
+        wl = WeisfeilerLehmanKernel(toy, iterations=1)
+        # aspirin/ibuprofen 1-hop egos are isomorphic up to the HAS tail;
+        # they must outscore aspirin/metformin.
+        assert wl.similarity(toy.aspirin, toy.ibuprofen) > wl.similarity(
+            toy.aspirin, toy.metformin
+        )
+
+    def test_kernel_value_counts_common_colors(self, toy):
+        wl = WeisfeilerLehmanKernel(toy, iterations=1, hops=1)
+        # Isolated Finding nodes share their type colour at round 0 and
+        # their (degree-0) refined colour at round 1.
+        assert wl.kernel(toy.isolated, toy.lonely) == pytest.approx(2.0)
+
+    def test_invalid_parameters(self, toy):
+        with pytest.raises(ValueError):
+            WeisfeilerLehmanKernel(toy, iterations=0)
+        with pytest.raises(ValueError):
+            WeisfeilerLehmanKernel(toy, hops=0)
+
+    def test_refinement_separates_structurally_distinct(self, toy):
+        wl = WeisfeilerLehmanKernel(toy, iterations=2, hops=2)
+        # nausea (degree 4) and vomiting (degree 0) are both AdverseEffect
+        # but refine to different colours.
+        assert wl.similarity(toy.nausea, toy.vomiting) < 1.0
+
+
+class TestHungarianGed:
+    def test_identical_stars_score_one(self, toy):
+        assert hungarian_ged_similarity(toy, toy.aspirin, toy.ibuprofen) == pytest.approx(1.0)
+
+    def test_self_similarity_is_one(self, toy):
+        for node in range(toy.num_nodes):
+            assert hungarian_ged_similarity(toy, node, node) == pytest.approx(1.0)
+
+    def test_isolated_pair(self, toy):
+        assert hungarian_ged_similarity(toy, toy.isolated, toy.lonely) == pytest.approx(1.0)
+
+    def test_disjoint_stars_score_zero(self, toy):
+        assert hungarian_ged_similarity(toy, toy.isolated, toy.aspirin) == pytest.approx(0.0)
+
+    def test_never_below_multiset_star_diff(self, toy):
+        # The optimal assignment can only match as well or better than the
+        # label-multiset diff (both use unit indel; substitution can reuse
+        # slots the multiset diff pays twice for).
+        for u in range(toy.num_nodes):
+            for v in range(toy.num_nodes):
+                hung = hungarian_ged_similarity(toy, u, v)
+                star = normalized_ged_similarity(toy, u, v)
+                assert hung >= star - 1e-9
+
+    def test_substitution_cost_discounts_partial_match(self, toy):
+        # With substitution cheaper than delete+insert, differing labels
+        # are substituted rather than re-created.
+        cheap = hungarian_ged_similarity(
+            toy, toy.aspirin, toy.metformin, substitution_cost=0.5
+        )
+        unit = hungarian_ged_similarity(toy, toy.aspirin, toy.metformin)
+        assert cheap >= unit
+
+
+class TestFactory:
+    def test_all_registered_metrics_work(self, toy):
+        for name in STRUCTURAL_METRICS:
+            metric = make_structural_metric(name, toy)
+            value = metric.similarity(toy.aspirin, toy.metformin)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_unknown_metric_rejected(self, toy):
+        with pytest.raises(ValueError, match="unknown structural metric"):
+            make_structural_metric("graphlet", toy)
+
+    def test_star_ged_is_default_paper_metric(self, toy):
+        metric = make_structural_metric("star_ged", toy)
+        assert metric.similarity(toy.aspirin, toy.ibuprofen) == pytest.approx(
+            normalized_ged_similarity(toy, toy.aspirin, toy.ibuprofen)
+        )
+
+
+class TestMetricProperties:
+    """Shared contract of every sim_st metric, on random typed graphs."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_nodes=st.integers(2, 12),
+        n_edges=st.integers(0, 20),
+        metric_name=st.sampled_from(sorted(STRUCTURAL_METRICS)),
+    )
+    def test_bounds_symmetry_identity(self, seed, n_nodes, n_edges, metric_name):
+        graph = random_hetero_graph(seed, n_nodes, n_edges)
+        metric = make_structural_metric(metric_name, graph)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            u = int(rng.integers(n_nodes))
+            v = int(rng.integers(n_nodes))
+            suv = metric.similarity(u, v)
+            svu = metric.similarity(v, u)
+            assert -1e-9 <= suv <= 1.0 + 1e-9
+            assert suv == pytest.approx(svu, abs=1e-9)
+        if metric_name != "wl" or graph.num_edges > 0 or n_nodes > 0:
+            node = int(rng.integers(n_nodes))
+            assert metric.similarity(node, node) == pytest.approx(1.0)
+
+
+class TestSamplerIntegration:
+    def test_sampler_accepts_every_metric(self, toy):
+        from repro.core.negative_sampling import SemanticNegativeSampler
+
+        emb = np.random.default_rng(0).random((toy.num_nodes, 8)).astype(np.float32)
+        for name in STRUCTURAL_METRICS:
+            sampler = SemanticNegativeSampler(
+                toy, emb, np.random.default_rng(1), structural_metric=name
+            )
+            negs = sampler.sample(toy.aspirin, 3)
+            assert len(negs) == 3
+            assert toy.aspirin not in negs.tolist()
+
+    def test_sampler_rejects_unknown_metric(self, toy):
+        from repro.core.negative_sampling import SemanticNegativeSampler
+
+        emb = np.zeros((toy.num_nodes, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            SemanticNegativeSampler(
+                toy, emb, np.random.default_rng(0), structural_metric="nope"
+            )
+
+    def test_train_config_carries_metric(self):
+        from repro.core.trainer import TrainConfig
+
+        config = TrainConfig(structural_metric="mcs")
+        assert config.structural_metric == "mcs"

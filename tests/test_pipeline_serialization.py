@@ -1,0 +1,123 @@
+"""Round-trip tests for pipeline checkpoints (repro.core.serialization)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import state_allclose
+from repro.core import (
+    ConstantSchedule,
+    EDPipeline,
+    ModelConfig,
+    TrainConfig,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """One tiny trained pipeline + its checkpoint directory."""
+    from repro.text import HashingNgramEmbedder
+
+    dataset = load_dataset("NCBI", scale=0.2, use_cache=False)
+    pipeline_dir = str(tmp_path_factory.mktemp("ckpt"))
+    pipeline = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant="graphsage", num_layers=2, feature_dim=32, hidden_dim=32),
+        train_config=TrainConfig(epochs=2, patience=5, seed=0),
+        embedder=HashingNgramEmbedder(dim=32),
+    )
+    pipeline.fit(dataset.train, dataset.val, dataset.test)
+    save_pipeline(pipeline, pipeline_dir)
+    return dataset, pipeline, pipeline_dir
+
+
+class TestRoundTrip:
+    def test_checkpoint_files_written(self, trained):
+        _, _, directory = trained
+        for name in ("kb.json", "config.json", "weights.npz"):
+            assert os.path.exists(os.path.join(directory, name))
+
+    def test_weights_identical(self, trained):
+        _, pipeline, directory = trained
+        loaded = load_pipeline(directory)
+        assert state_allclose(pipeline.model.state_dict(), loaded.model.state_dict())
+
+    def test_kb_round_trips(self, trained):
+        dataset, pipeline, directory = trained
+        loaded = load_pipeline(directory)
+        assert loaded.kb.num_nodes == pipeline.kb.num_nodes
+        assert loaded.kb.num_edges == pipeline.kb.num_edges
+        assert loaded.kb.node_name(0) == pipeline.kb.node_name(0)
+
+    def test_configs_round_trip(self, trained):
+        _, pipeline, directory = trained
+        loaded = load_pipeline(directory)
+        assert loaded.model_config.variant == pipeline.model_config.variant
+        assert loaded.model_config.num_layers == pipeline.model_config.num_layers
+        assert loaded.train_config.epochs == pipeline.train_config.epochs
+        assert loaded.augment == pipeline.augment
+        assert loaded.embedder.dim == pipeline.embedder.dim
+
+    def test_predictions_identical_after_load(self, trained):
+        dataset, pipeline, directory = trained
+        loaded = load_pipeline(directory)
+        snippet = dataset.test[0]
+        a = pipeline.disambiguate_snippet(snippet, top_k=3)
+        b = loaded.disambiguate_snippet(snippet, top_k=3)
+        assert a.ranked_entities == b.ranked_entities
+        np.testing.assert_allclose(a.scores, b.scores, atol=1e-5)
+
+
+class TestMetapathConfig:
+    def test_magnn_metapaths_round_trip(self, tmp_path):
+        dataset = load_dataset("NCBI", scale=0.2, use_cache=False)
+        pipeline = EDPipeline(
+            dataset.kb,
+            model_config=ModelConfig(
+                variant="magnn", num_layers=1, feature_dim=16, hidden_dim=16, attention_dim=8
+            ),
+            train_config=TrainConfig(epochs=1, patience=2),
+        )
+        # Pipeline init selects data-driven metapaths; they must survive.
+        assert pipeline.model_config.metapaths is not None
+        save_pipeline(pipeline, str(tmp_path))
+        loaded = load_pipeline(str(tmp_path))
+        assert loaded.model_config.metapaths == pipeline.model_config.metapaths
+
+
+class TestScheduleConfig:
+    def test_constant_schedule_round_trips(self, tmp_path):
+        dataset = load_dataset("NCBI", scale=0.2, use_cache=False)
+        pipeline = EDPipeline(
+            dataset.kb,
+            model_config=ModelConfig(variant="graphsage", num_layers=1, feature_dim=16, hidden_dim=16),
+            train_config=TrainConfig(epochs=1, curriculum=ConstantSchedule(0.6)),
+        )
+        save_pipeline(pipeline, str(tmp_path))
+        loaded = load_pipeline(str(tmp_path))
+        assert isinstance(loaded.train_config.curriculum, ConstantSchedule)
+        assert loaded.train_config.curriculum.hard_fraction(0) == pytest.approx(0.6)
+
+
+class TestFailureModes:
+    def test_missing_file_rejected(self, trained, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pipeline(str(tmp_path))
+
+    def test_bad_version_rejected(self, trained, tmp_path):
+        _, pipeline, directory = trained
+        import shutil
+
+        clone = tmp_path / "clone"
+        shutil.copytree(directory, clone)
+        config_path = clone / "config.json"
+        payload = json.loads(config_path.read_text())
+        payload["format_version"] = 999
+        config_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported checkpoint format"):
+            load_pipeline(str(clone))

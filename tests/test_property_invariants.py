@@ -1,0 +1,210 @@
+"""Cross-module property-based tests (hypothesis) on the invariants the
+system's correctness rests on: batching arithmetic, schedule
+monotonicity, metric identities, sampler guarantees, index consistency,
+and metapath type-correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CurriculumSchedule, NegativeSampler
+from repro.eval import precision_recall_f1
+from repro.graph import (
+    HeteroGraph,
+    InvertedIndex,
+    Metapath,
+    batch_graphs,
+    enumerate_instances,
+    medical_schema,
+    normalize_surface,
+    unbatch_node_ids,
+)
+from repro.text import HashingNgramEmbedder
+
+
+def random_graph(seed: int, n_nodes: int, n_edges: int) -> HeteroGraph:
+    rng = np.random.default_rng(seed)
+    schema = medical_schema()
+    g = HeteroGraph(schema)
+    types = schema.node_types
+    for i in range(n_nodes):
+        g.add_node(types[int(rng.integers(len(types)))], f"entity {seed} {i}")
+    for _ in range(n_edges):
+        rel_id = int(rng.integers(schema.num_relations))
+        rel = schema.relation(rel_id)
+        src_pool = g.nodes_of_type(rel.src_type)
+        dst_pool = g.nodes_of_type(rel.dst_type)
+        if len(src_pool) == 0 or len(dst_pool) == 0:
+            continue
+        s = int(rng.choice(src_pool))
+        d = int(rng.choice(dst_pool))
+        if s != d:
+            g.add_edge(s, d, rel_id)
+    return g
+
+
+class TestBatchingInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        sizes=st.lists(st.tuples(st.integers(1, 8), st.integers(0, 10)), min_size=1, max_size=4),
+    )
+    def test_union_counts_are_sums(self, seed, sizes):
+        graphs = [random_graph(seed + i, n, e) for i, (n, e) in enumerate(sizes)]
+        union, offsets = batch_graphs(graphs)
+        assert union.num_nodes == sum(g.num_nodes for g in graphs)
+        assert union.num_edges == sum(g.num_edges for g in graphs)
+        assert offsets == list(np.cumsum([0] + [g.num_nodes for g in graphs])[:-1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 8))
+    def test_unbatch_round_trips_node_identity(self, seed, n):
+        graphs = [random_graph(seed, n, 4), random_graph(seed + 1, n, 4)]
+        union, offsets = batch_graphs(graphs)
+        for g_idx, graph in enumerate(graphs):
+            for local in range(graph.num_nodes):
+                union_id = unbatch_node_ids(offsets, g_idx, [local])[0]
+                assert union.node_name(int(union_id)) == graph.node_name(local)
+                assert union.node_type(int(union_id)) == graph.node_type(local)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_edges_stay_within_component(self, seed):
+        graphs = [random_graph(seed, 6, 8), random_graph(seed + 1, 5, 6)]
+        union, offsets = batch_graphs(graphs)
+        src, dst, _ = union.edges()
+        boundaries = offsets + [union.num_nodes]
+        for s, d in zip(src.tolist(), dst.tolist()):
+            component_s = sum(1 for b in boundaries[1:] if s >= b)
+            component_d = sum(1 for b in boundaries[1:] if d >= b)
+            assert component_s == component_d
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        max_fraction=st.floats(0.0, 1.0),
+        warmup=st.integers(1, 30),
+        epochs=st.integers(1, 100),
+    )
+    def test_monotone_bounded_zero_start(self, max_fraction, warmup, epochs):
+        schedule = CurriculumSchedule(max_hard_fraction=max_fraction, warmup_epochs=warmup)
+        assert schedule.hard_fraction(0) == 0.0
+        previous = 0.0
+        for epoch in range(1, epochs):
+            fraction = schedule.hard_fraction(epoch)
+            assert 0.0 <= fraction <= max_fraction + 1e-12
+            assert fraction >= previous - 1e-12
+            previous = fraction
+        if epochs > warmup:
+            assert schedule.hard_fraction(epochs) == pytest.approx(max_fraction)
+
+
+class TestMetricIdentities:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 200))
+    def test_f1_is_harmonic_mean(self, seed, n):
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.5
+        predictions = rng.random(n) < 0.5
+        prf = precision_recall_f1(labels, predictions)
+        assert 0.0 <= prf.precision <= 1.0
+        assert 0.0 <= prf.recall <= 1.0
+        if prf.precision + prf.recall > 0:
+            expected = 2 * prf.precision * prf.recall / (prf.precision + prf.recall)
+            assert prf.f1 == pytest.approx(expected)
+        else:
+            assert prf.f1 == 0.0
+        # F1 lies between min and max of P and R.
+        assert min(prf.precision, prf.recall) - 1e-12 <= prf.f1
+        assert prf.f1 <= max(prf.precision, prf.recall) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 100))
+    def test_perfect_predictions_score_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.5
+        if not labels.any():
+            labels[0] = True
+        prf = precision_recall_f1(labels, labels.copy())
+        assert prf.f1 == pytest.approx(1.0)
+
+
+class TestSamplerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        k=st.integers(1, 8),
+        epoch=st.integers(0, 20),
+    )
+    def test_mixed_sampler_valid_ids_never_gold(self, seed, k, epoch):
+        graph = random_graph(seed, 10, 15)
+        embedder = HashingNgramEmbedder(dim=16)
+        features = embedder.embed_batch([graph.node_name(v) for v in range(graph.num_nodes)])
+        sampler = NegativeSampler(
+            graph,
+            np.random.default_rng(seed),
+            initial_embeddings=features,
+            use_hard_negatives=True,
+        )
+        positive = int(np.random.default_rng(seed + 1).integers(graph.num_nodes))
+        negatives = sampler.sample(positive, k, epoch)
+        assert len(negatives) == k
+        assert positive not in negatives.tolist()
+        assert all(0 <= v < graph.num_nodes for v in negatives.tolist())
+
+
+class TestTextInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(text=st.text(max_size=40))
+    def test_normalize_surface_idempotent(self, text):
+        once = normalize_surface(text)
+        assert normalize_surface(once) == once
+
+    @settings(max_examples=30, deadline=None)
+    @given(text=st.text(min_size=1, max_size=30), dim=st.sampled_from([16, 64, 128]))
+    def test_embedder_deterministic_unit_norm(self, text, dim):
+        embedder = HashingNgramEmbedder(dim=dim)
+        a = embedder.embed(text)
+        b = embedder.embed(text)
+        np.testing.assert_array_equal(a, b)
+        norm = float(np.linalg.norm(a))
+        assert norm == pytest.approx(1.0, abs=1e-5) or norm == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_batch_embed_matches_single(self, seed):
+        rng = np.random.default_rng(seed)
+        embedder = HashingNgramEmbedder(dim=32)
+        texts = [f"entity {rng.integers(100)}" for _ in range(5)]
+        batch = embedder.embed_batch(texts)
+        for i, text in enumerate(texts):
+            np.testing.assert_allclose(batch[i], embedder.embed(text))
+
+
+class TestIndexInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 20))
+    def test_every_name_resolves_to_its_node(self, seed, n):
+        graph = random_graph(seed, n, 2 * n)
+        index = InvertedIndex(graph)
+        for node in range(graph.num_nodes):
+            assert node in index.lookup(graph.node_name(node))
+
+
+class TestMetapathInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(4, 15))
+    def test_instances_respect_types_and_adjacency(self, seed, n):
+        graph = random_graph(seed, n, 3 * n)
+        mp = Metapath(("Drug", "AdverseEffect", "Finding"))
+        type_ids = mp.type_ids(graph.schema)
+        inst = enumerate_instances(graph, mp, max_instances_per_node=8)
+        types = graph.node_types
+        for path in inst.paths.tolist():
+            for position, node in enumerate(path):
+                assert types[node] == type_ids[position]
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b) or graph.has_edge(b, a)
+            assert len(set(path)) == len(path)  # no revisits by default

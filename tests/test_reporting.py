@@ -1,0 +1,60 @@
+"""Tests for the table-rendering helpers the benches print."""
+
+import pytest
+
+from repro.eval import PRF, format_table, markdown_table, results_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["A"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        out = format_table(["Name", "V"], [["ab", "1"], ["abcdef", "2"]])
+        header, sep, row1, row2 = out.splitlines()
+        # The value column starts at the same offset in every row.
+        assert row1.index("1") == row2.index("2")
+
+    def test_non_string_cells_coerced(self):
+        out = format_table(["N"], [[42]])
+        assert "42" in out
+
+    def test_empty_rows_render_header_only(self):
+        out = format_table(["A", "B"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestMarkdownTable:
+    def test_pipe_layout(self):
+        out = markdown_table(["A", "B"], [["1", "2"]])
+        lines = out.splitlines()
+        assert lines[0] == "| A | B |"
+        assert set(lines[1].replace(" ", "")) <= {"|", "-"}
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestResultsTable:
+    def test_prf_rows(self):
+        table = results_table(
+            {"sys": {"NCBI": PRF(0.9, 0.8, 0.847)}},
+            systems=["sys"],
+            datasets=["NCBI"],
+        )
+        assert "0.847" in table
+        assert "NCBI" in table
+
+    def test_missing_cells_dashed(self):
+        table = results_table(
+            {"sys": {"NCBI": PRF(0.9, 0.8, 0.847)}},
+            systems=["sys"],
+            datasets=["NCBI", "MDX"],
+        )
+        assert "-" in table.splitlines()[-1]

@@ -1,0 +1,231 @@
+"""Tests for the text substrate: tokeniser, variants, embedder, NER,
+corpus format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import HeteroGraph, InvertedIndex, medical_schema
+from repro.text import (
+    DictionaryNER,
+    HashingNgramEmbedder,
+    MentionAnnotation,
+    Snippet,
+    VariantKind,
+    applicable_kinds,
+    generate_variant,
+    link_unambiguous,
+    load_snippets,
+    make_abbreviation,
+    make_acronym,
+    make_simplification,
+    make_typo,
+    mint_cui,
+    node_features_for_graph,
+    parse_cui,
+    save_snippets,
+    span_text,
+    tokenize,
+    validate_snippet,
+)
+
+
+class TestTokenize:
+    def test_offsets_roundtrip(self):
+        text = "Aspirin can cause nausea."
+        tokens = tokenize(text)
+        assert [t.text for t in tokens] == ["Aspirin", "can", "cause", "nausea"]
+        for t in tokens:
+            assert text[t.start : t.end] == t.text
+
+    def test_span_text(self):
+        text = "acute renal failure observed"
+        tokens = tokenize(text)
+        assert span_text(text, tokens, 0, 3) == "acute renal failure"
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_apostrophes_kept(self):
+        assert tokenize("patient's")[0].text == "patient's"
+
+
+class TestVariants:
+    def test_acronym(self):
+        assert make_acronym("acute renal failure") == "ARF"
+        assert make_acronym("aspirin") is None
+
+    def test_abbreviation_truncates(self):
+        rng = np.random.default_rng(0)
+        out = make_abbreviation("nephrotoxicity observed", rng)
+        assert out is not None and "." in out
+
+    def test_typo_is_one_edit_away(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = make_typo("proteinuria", rng)
+            assert out is not None and out != "proteinuria"
+
+    def test_simplification_drops_qualifier(self):
+        assert make_simplification("chronic kidney disease") == "kidney disease"
+        assert make_simplification("kidney disease") is None
+
+    def test_generate_variant_dispatch(self):
+        rng = np.random.default_rng(1)
+        assert generate_variant("acute renal failure", VariantKind.EXACT, rng) == "acute renal failure"
+        assert generate_variant("acute renal failure", VariantKind.ACRONYM, rng) == "ARF"
+        assert generate_variant("x", VariantKind.SYNONYM, rng, synonyms=("y",)) == "y"
+        assert generate_variant("x", VariantKind.SYNONYM, rng) is None
+
+    def test_applicable_kinds(self):
+        kinds = applicable_kinds("chronic renal failure", synonyms=("kidney failure",))
+        assert VariantKind.ACRONYM in kinds
+        assert VariantKind.SIMPLIFICATION in kinds
+        assert VariantKind.SYNONYM in kinds
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_property_variants_differ_from_original(self, seed):
+        rng = np.random.default_rng(seed)
+        name = "progressive hepatic fibrosis"
+        for kind in applicable_kinds(name):
+            if kind == VariantKind.EXACT:
+                continue
+            variant = generate_variant(name, kind, rng)
+            if variant is not None:
+                assert variant.lower() != name
+
+
+class TestEmbedder:
+    def test_deterministic(self):
+        e = HashingNgramEmbedder(dim=64)
+        np.testing.assert_array_equal(e.embed("nephrosis"), e.embed("nephrosis"))
+
+    def test_unit_norm(self):
+        e = HashingNgramEmbedder(dim=64)
+        assert np.linalg.norm(e.embed("kidney disease")) == pytest.approx(1.0, abs=1e-5)
+
+    def test_empty_string_is_zero_safe(self):
+        e = HashingNgramEmbedder(dim=32)
+        vec = e.embed("")
+        assert vec.shape == (32,)
+        assert np.all(np.isfinite(vec))
+
+    def test_lexical_similarity_ordering(self):
+        e = HashingNgramEmbedder(dim=128)
+        close = e.similarity("acute renal failure", "chronic renal failure")
+        far = e.similarity("acute renal failure", "gastroenteritis")
+        assert close > far + 0.2
+
+    def test_batch_matches_single(self):
+        e = HashingNgramEmbedder(dim=64)
+        batch = e.embed_batch(["nausea", "fever"])
+        np.testing.assert_allclose(batch[0], e.embed("nausea"))
+        np.testing.assert_allclose(batch[1], e.embed("fever"))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            HashingNgramEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            HashingNgramEmbedder(ngram_range=(3, 2))
+
+    def test_node_features_distinguish_types(self):
+        g = HeteroGraph(medical_schema())
+        a = g.add_node("Drug", "identical name")
+        b = g.add_node("Finding", "identical name")
+        feats = node_features_for_graph(g, HashingNgramEmbedder(dim=64))
+        assert not np.allclose(feats[a], feats[b])
+
+
+@pytest.fixture
+def toy_with_arf():
+    g = HeteroGraph(medical_schema())
+    g.aspirin = g.add_node("Drug", "aspirin")
+    g.nausea = g.add_node("AdverseEffect", "nausea")
+    g.arf = g.add_node("Finding", "acute renal failure")
+    g.arf2 = g.add_node("Finding", "acute respiratory failure")
+    g.proteinuria = g.add_node("Finding", "proteinuria")
+    g.add_edge_by_name(g.aspirin, g.nausea, "CAUSE")
+    g.add_edge_by_name(g.nausea, g.arf, "HAS")
+    return g
+
+
+class TestNER:
+    def test_extracts_paper_example(self, toy_with_arf):
+        g = toy_with_arf
+        ner = DictionaryNER(g)
+        text = "Aspirin can cause nausea indicating a potential ARF, and proteinuria"
+        mentions = ner.extract(text)
+        surfaces = [m.surface for m in mentions]
+        assert surfaces == ["Aspirin", "nausea", "ARF", "proteinuria"]
+        arf = mentions[2]
+        assert arf.is_ambiguous
+        assert set(arf.candidates) == {g.arf, g.arf2}
+
+    def test_longest_match_wins(self, toy_with_arf):
+        ner = DictionaryNER(toy_with_arf)
+        mentions = ner.extract("acute renal failure was diagnosed")
+        assert mentions[0].surface == "acute renal failure"
+        assert mentions[0].is_linked
+
+    def test_offsets_match_text(self, toy_with_arf):
+        ner = DictionaryNER(toy_with_arf)
+        text = "nausea then proteinuria"
+        for m in ner.extract(text):
+            assert text[m.start : m.end] == m.surface
+
+    def test_extra_vocabulary_type_guess(self, toy_with_arf):
+        ner = DictionaryNER(toy_with_arf)
+        ner.register_surface("FSGS", "Finding")
+        mentions = ner.extract("FSGS recurrence noted")
+        assert mentions[0].is_unknown
+        assert mentions[0].type_guess == "Finding"
+
+    def test_link_unambiguous(self, toy_with_arf):
+        g = toy_with_arf
+        ner = DictionaryNER(g)
+        mentions = ner.extract("Aspirin and ARF")
+        linked = link_unambiguous(mentions)
+        assert linked == {"Aspirin": g.aspirin}
+
+
+class TestCorpus:
+    def _snippet(self):
+        text = "A common human skin tumour is caused by activating mutations."
+        return Snippet(
+            text=text,
+            mentions=[
+                MentionAnnotation("skin tumour", 15, 26, "Disease", "C0000042")
+            ],
+            ambiguous_index=0,
+        )
+
+    def test_paper_format_roundtrip(self, tmp_path):
+        snippet = self._snippet()
+        path = str(tmp_path / "gt.jsonl")
+        save_snippets([snippet], path)
+        loaded = load_snippets(path)
+        assert loaded[0].text == snippet.text
+        assert loaded[0].ambiguous_mention.link_id == "C0000042"
+        assert loaded[0].mentions[0].start_offset == 15
+
+    def test_cui_roundtrip(self):
+        assert parse_cui(mint_cui(1234)) == 1234
+        with pytest.raises(ValueError):
+            parse_cui("X123")
+
+    def test_validation_catches_bad_span(self):
+        snippet = self._snippet()
+        bad = Snippet(
+            text=snippet.text,
+            mentions=[MentionAnnotation("skin tumour", 0, 11, "Disease", "C1")],
+        )
+        problems = validate_snippet(bad)
+        assert problems and "span text" in problems[0]
+
+    def test_validation_accepts_good(self):
+        assert validate_snippet(self._snippet()) == []
+
+    def test_validation_rejects_empty(self):
+        assert validate_snippet(Snippet(text="x", mentions=[]))
