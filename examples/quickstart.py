@@ -10,8 +10,6 @@ against the two colliding expansions ("acute renal failure" vs "acute
 respiratory failure").  Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.core import EDPipeline, ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 

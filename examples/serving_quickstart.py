@@ -1,0 +1,64 @@
+"""Serving quickstart: batch-link a stream of snippets with LinkingService.
+
+Trains a small ED-GNN pipeline, wraps it in the batched
+:class:`repro.serving.LinkingService`, links the test split in one call,
+replays it to show the LRU result cache, and prints the service stats.
+
+Run:  PYTHONPATH=src python examples/serving_quickstart.py
+"""
+
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+from repro.serving import LinkingService, ServiceConfig
+
+
+def main() -> None:
+    # 1. Train a small pipeline (same setup as examples/quickstart.py).
+    dataset = load_dataset("NCBI", scale=0.3)
+    pipeline = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant="graphsage", num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=20, patience=10, seed=0),
+    )
+    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    print(f"trained: test F1 {result.test.f1:.3f} (best epoch {result.best_epoch})")
+
+    # 2. Wrap it in the serving layer.  KB embeddings are computed once
+    #    here and reused for every request.
+    service = LinkingService(
+        pipeline,
+        ServiceConfig(max_batch_size=32, cache_size=1024, top_k=3),
+    )
+
+    # 3. One batched call links the whole split.
+    predictions = service.link_batch(dataset.test)
+    correct = 0
+    for snippet, prediction in zip(dataset.test, predictions):
+        gold = int(snippet.ambiguous_mention.link_id[1:])
+        correct += prediction.top() == gold
+    print(f"linked {len(predictions)} mentions, top-1 hits gold on {correct}")
+
+    for snippet, prediction in zip(dataset.test[:3], predictions[:3]):
+        print(f"\n  {snippet.text!r}")
+        print(f"  mention {prediction.mention!r}:")
+        for entity, score in zip(prediction.ranked_entities, prediction.scores):
+            print(f"    {score:7.3f}  {pipeline.entity_name(entity)}")
+
+    # 4. Replay the stream: every mention now hits the result cache.
+    service.link_batch(dataset.test)
+
+    # 5. Raw texts go through the (simulated) NER first.
+    texts = [
+        "Aspirin can cause nausea indicating a potential ARF, "
+        "nephrotoxicity, and proteinuria"
+    ]
+    for prediction in service.link_texts(texts):
+        print(f"\nfree text mention {prediction.mention!r} -> "
+              f"{pipeline.entity_name(prediction.top())!r}")
+
+    print()
+    print(service.stats.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,10 @@
-"""Legacy shim so ``pip install -e .`` works offline (no `wheel` package
-available in this environment, so the PEP 660 path cannot build).
-Configuration lives in pyproject.toml.
+"""Legacy shim so ``python setup.py``-era tooling and offline
+``pip install -e . --no-build-isolation`` keep working (the containerised
+dev environment has no ``wheel`` package, so the PEP 660 editable path
+cannot build there).  All real configuration — package metadata, the
+``src`` layout, the ``numpy``/``scipy`` dependencies, the ``repro``
+console script — lives in pyproject.toml; CI installs with a plain
+``pip install -e .``.
 """
 
 from setuptools import setup

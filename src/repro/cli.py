@@ -13,6 +13,8 @@ package is installed with entry points):
   and print P/R/F1;
 * ``repro link``      — disambiguate a mention in free text against a
   trained checkpoint;
+* ``repro serve``     — batched high-throughput linking of a file or
+  dataset split through :mod:`repro.serving`, with ``--stats`` telemetry;
 * ``repro explain``   — GNN-Explainer attribution for the top match of a
   mention (Figure 4a);
 * ``repro reproduce`` — regenerate one of the paper's tables end to end.
@@ -201,6 +203,88 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Batched linking over a text file / snippet corpus / dataset split,
+    through the :mod:`repro.serving` service; surfaces ServiceStats."""
+    from repro.serving import LinkingService, ServiceConfig
+
+    pipeline = _load_checkpoint(args.checkpoint)
+    try:
+        config = ServiceConfig(
+            max_batch_size=args.batch_size,
+            cache_size=args.cache_size,
+            top_k=args.top_k,
+            ref_cache_path=args.ref_cache,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    service = LinkingService(pipeline, config)
+
+    snippets = []
+    if args.input:
+        from repro.text.corpus import Snippet
+
+        with open(args.input, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    payload = None
+                if isinstance(payload, dict) and "Text" in payload:
+                    snippets.append(Snippet.from_dict(payload))
+                else:
+                    try:
+                        snippets.append(pipeline.snippet_from_text(line))
+                    except ValueError as exc:
+                        raise SystemExit(f"{args.input}: {exc}: {line!r}") from None
+    else:
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset, scale=args.scale)
+        split = {"train": dataset.train, "val": dataset.val, "test": dataset.test}[args.split]
+        snippets = list(split)
+    if args.limit is not None:
+        snippets = snippets[: args.limit]
+    if not snippets:
+        raise SystemExit("no snippets to link")
+
+    predictions = service.link_batch(snippets, top_k=args.top_k)
+    if args.json:
+        for prediction in predictions:
+            print(
+                json.dumps(
+                    {
+                        "mention": prediction.mention,
+                        "candidates": [
+                            {
+                                "entity_id": e,
+                                "name": pipeline.entity_name(e),
+                                "score": round(s, 4),
+                            }
+                            for e, s in zip(prediction.ranked_entities, prediction.scores)
+                        ],
+                    }
+                )
+            )
+        if args.stats:
+            print(json.dumps({"stats": service.stats.to_dict()}))
+        return 0
+
+    for prediction in predictions:
+        top = prediction.top()
+        print(
+            f"{prediction.mention!r} -> {pipeline.entity_name(top)!r} "
+            f"(score {prediction.scores[0]:.3f})"
+        )
+    if args.stats:
+        print()
+        print(service.stats.format())
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core import GNNExplainer
 
@@ -378,6 +462,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_link)
 
+    p = sub.add_parser(
+        "serve",
+        help="batched linking over a file or dataset split (repro.serving)",
+    )
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument(
+        "--input",
+        default=None,
+        help="file of raw texts (one per line) or snippet JSONL; default: dataset split",
+    )
+    p.add_argument("--dataset", default="NCBI", help="dataset when --input is omitted")
+    p.add_argument("--split", default="test", choices=["train", "val", "test"])
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--limit", type=int, default=None, help="cap the number of snippets")
+    p.add_argument("--batch-size", type=int, default=32, help="micro-batch size")
+    p.add_argument("--cache-size", type=int, default=2048, help="LRU entries; 0 disables")
+    p.add_argument("--ref-cache", default=None, help="persist KB embeddings to this .npz")
+    p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--stats", action="store_true", help="print serving stats afterwards")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("explain", help="GNN-Explainer attribution for the top match")
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--text", required=True)
@@ -405,7 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `repro serve | head`);
+        # suppress the traceback and exit quietly like standard unix tools.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

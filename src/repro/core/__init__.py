@@ -11,6 +11,7 @@ from .explainer import EdgeAttribution, Explanation, GNNExplainer  # noqa: F401
 from .matching import (  # noqa: F401
     BilinearMatcher,
     DotProductMatcher,
+    Matcher,
     MLPMatcher,
     make_matcher,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "with_related_relation",
     "related_relation_id",
     "RELATED",
+    "Matcher",
     "DotProductMatcher",
     "MLPMatcher",
     "BilinearMatcher",

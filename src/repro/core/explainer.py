@@ -12,7 +12,7 @@ the paper's Figure 4a shows the top-3 such edges for the MDX match
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

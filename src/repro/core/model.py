@@ -9,7 +9,7 @@ accumulate into one weight bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -163,8 +163,8 @@ class EDGNN(Module):
         """Candidate KB ids sorted by descending matching score (used by
         the end-to-end linking pipeline)."""
         candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
-        n = len(candidate_ids)
-        tiled = Tensor(np.repeat(h_query_row.data.reshape(1, -1), n, axis=0))
-        scores = self.matcher(tiled, gather(h_ref, candidate_ids)).data
+        scores = self.matcher.one_vs_many(
+            h_query_row.data.reshape(-1), h_ref.data[candidate_ids]
+        )
         order = np.argsort(-scores, kind="stable")
         return candidate_ids[order]

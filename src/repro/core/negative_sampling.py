@@ -22,7 +22,7 @@ only uniform negatives in the first epoch and ramps in hard ones (the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

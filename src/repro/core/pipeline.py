@@ -8,8 +8,8 @@ It is the public API the examples and benchmarks drive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -120,7 +120,9 @@ class EDPipeline:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def _ref_embeddings(self) -> np.ndarray:
+    def ref_embeddings(self) -> np.ndarray:
+        """KB node embeddings under the current weights, computed once and
+        cached until :meth:`invalidate_ref_cache` (or :meth:`fit`) runs."""
         if self._h_ref is None:
             self.model.eval()
             if self._ref_compiled is None:
@@ -130,6 +132,14 @@ class EDPipeline:
                     self._ref_compiled, Tensor(self.kb.features)
                 ).data
         return self._h_ref
+
+    # Backwards-compatible alias (pre-serving API).
+    _ref_embeddings = ref_embeddings
+
+    def invalidate_ref_cache(self) -> None:
+        """Drop cached KB embeddings (call after mutating weights or KB)."""
+        self._h_ref = None
+        self._ref_compiled = None
 
     def snippet_from_text(self, text: str, ambiguous_surface: Optional[str] = None) -> Snippet:
         """Run the (simulated) NER over raw text and assemble a snippet.
@@ -180,51 +190,86 @@ class EDPipeline:
         snippet = self.snippet_from_text(text, ambiguous_surface)
         return self.disambiguate_snippet(snippet, top_k, restrict_to_candidates)
 
+    def candidate_ids(
+        self,
+        surface: str,
+        category: Optional[str] = None,
+        restrict_to_candidates: bool = True,
+    ) -> np.ndarray:
+        """Candidate-generation stage: KB node ids to rank for a surface.
+
+        With ``restrict_to_candidates`` the set is the inverted index's
+        candidates (falling back to fuzzy retrieval when configured, then
+        type-compatible entities, then the whole KB); otherwise the whole
+        KB.  Separated from :meth:`disambiguate_snippet` so the serving
+        layer can generate candidates in bulk before a batched forward.
+        """
+        candidates = self.index.lookup(surface) if restrict_to_candidates else []
+        if not candidates and restrict_to_candidates and self._fuzzy_generator is not None:
+            # Approximate lexical retrieval for index misses (typos etc.).
+            candidates = self._fuzzy_generator.candidate_ids(surface, top_k=20)
+        if not candidates and category is not None and category in self.schema.node_types:
+            candidates = self.kb.nodes_of_type(category).tolist()
+        if not candidates:
+            candidates = list(range(self.kb.num_nodes))
+        return np.asarray(candidates, dtype=np.int64)
+
+    def build_query_graph_for(self, snippet: Snippet) -> QueryGraph:
+        """Query-graph-construction stage for a single snippet."""
+        return build_query_graph(
+            snippet, self.kb, self.index, self.embedder,
+            augment=self.augment, schema=self.schema,
+        )
+
+    def score_candidates(self, qg: QueryGraph, candidate_ids: np.ndarray) -> np.ndarray:
+        """Scoring stage: matching logits of one query graph's "?" node
+        against ``candidate_ids`` (same math the trainer uses)."""
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        self.model.eval()
+        with no_grad():
+            compiled = self.model.compile(qg.graph)
+            x_qry = Tensor(qg.graph.features)
+            h_qry = self.model.embed(compiled, x_qry)
+            mention_ids = np.full(len(candidate_ids), qg.mention_node, dtype=np.int64)
+            return self.model.score_pairs(
+                h_qry,
+                mention_ids,
+                Tensor(self.ref_embeddings()),
+                candidate_ids,
+                x_query=x_qry,
+                x_ref=Tensor(self.kb.features),
+            ).data
+
+    @staticmethod
+    def prediction_from_scores(
+        surface: str,
+        candidate_ids: np.ndarray,
+        scores: np.ndarray,
+        top_k: int,
+    ) -> Prediction:
+        """Ranking stage: sort scored candidates into a :class:`Prediction`."""
+        order = np.argsort(-scores, kind="stable")[:top_k]
+        return Prediction(
+            mention=surface,
+            ranked_entities=[int(candidate_ids[i]) for i in order],
+            scores=[float(scores[i]) for i in order],
+        )
+
     def disambiguate_snippet(
         self,
         snippet: Snippet,
         top_k: int = 5,
         restrict_to_candidates: bool = True,
     ) -> Prediction:
-        qg = build_query_graph(
-            snippet, self.kb, self.index, self.embedder,
-            augment=self.augment, schema=self.schema,
+        qg = self.build_query_graph_for(snippet)
+        candidate_ids = self.candidate_ids(
+            qg.mention_surface,
+            category=snippet.ambiguous_mention.category,
+            restrict_to_candidates=restrict_to_candidates,
         )
-        surface = qg.mention_surface
-        candidates = self.index.lookup(surface) if restrict_to_candidates else []
-        if not candidates and restrict_to_candidates and self._fuzzy_generator is not None:
-            # Approximate lexical retrieval for index misses (typos etc.).
-            candidates = self._fuzzy_generator.candidate_ids(surface, top_k=20)
-        if not candidates:
-            category = snippet.ambiguous_mention.category
-            if category in self.schema.node_types:
-                candidates = self.kb.nodes_of_type(category).tolist()
-        if not candidates:
-            candidates = list(range(self.kb.num_nodes))
-
-        self.model.eval()
-        with no_grad():
-            compiled = self.model.compile(qg.graph)
-            x_qry = Tensor(qg.graph.features)
-            h_qry = self.model.embed(compiled, x_qry)
-            h_ref = Tensor(self._ref_embeddings())
-            candidate_ids = np.asarray(candidates, dtype=np.int64)
-            n = len(candidate_ids)
-            mention_ids = np.full(n, qg.mention_node, dtype=np.int64)
-            scores = self.model.score_pairs(
-                h_qry,
-                mention_ids,
-                h_ref,
-                candidate_ids,
-                x_query=x_qry,
-                x_ref=Tensor(self.kb.features),
-            ).data
-
-        order = np.argsort(-scores, kind="stable")[:top_k]
-        return Prediction(
-            mention=surface,
-            ranked_entities=[int(candidate_ids[i]) for i in order],
-            scores=[float(scores[i]) for i in order],
+        scores = self.score_candidates(qg, candidate_ids)
+        return self.prediction_from_scores(
+            qg.mention_surface, candidate_ids, scores, top_k
         )
 
     def entity_name(self, entity_id: int) -> str:

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..graph.hetero import HeteroGraph
 from ..graph.index import InvertedIndex

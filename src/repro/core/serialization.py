@@ -19,8 +19,6 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
-from typing import Optional
-
 from ..graph.io import load_graph, save_graph
 from ..graph.metapath import Metapath
 from ..text.embedder import HashingNgramEmbedder

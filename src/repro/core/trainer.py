@@ -15,7 +15,7 @@ is accompanied by hard negative pairs from the semantic sampler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

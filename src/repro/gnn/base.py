@@ -27,6 +27,14 @@ class GNNEncoder(Module):
     in_dim: int
     out_dim: int
 
+    #: True when embedding a disjoint union of graphs yields the same
+    #: per-node embeddings as embedding each graph alone.  Every purely
+    #: local message-passing encoder qualifies; encoders with graph-global
+    #: pooling (MAGNN/HAN semantic attention averages summaries over all
+    #: nodes of a type) must override this with False so the serving
+    #: layer's micro-batcher falls back to per-graph forwards.
+    union_batchable: bool = True
+
     def compile(self, graph: HeteroGraph) -> Any:
         """Parameter-free preprocessing of a graph into the structure the
         forward pass consumes.  Must not capture Tensors."""

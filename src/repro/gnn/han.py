@@ -169,7 +169,12 @@ class HAN(GNNEncoder):
     Accepts the same construction surface as :class:`~repro.gnn.MAGNN`
     (schema, metapaths, heads, attention dim) so the two are drop-in
     interchangeable inside :class:`~repro.core.model.EDGNN`.
+
+    Like MAGNN, semantic attention averages projected embeddings over the
+    whole graph, so HAN is not disjoint-union batchable.
     """
+
+    union_batchable = False
 
     def __init__(
         self,

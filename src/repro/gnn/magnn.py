@@ -241,9 +241,15 @@ class MagnnLayer(Module):
 class MAGNN(GNNEncoder):
     """Multi-layer MAGNN with type-specific input projections.
 
+    Inter-metapath attention (Eq. 4) pools summaries over *all* nodes of
+    a type, so embeddings depend on the whole graph — a disjoint union
+    mixes graphs and is not equivalent to per-graph forwards.
+
     ``metapaths`` defaults to the schema-derived set of
     :func:`~repro.graph.metapath.default_metapaths`.
     """
+
+    union_batchable = False
 
     def __init__(
         self,

@@ -20,6 +20,12 @@ def batch_graphs(graphs: Sequence[HeteroGraph]) -> Tuple[HeteroGraph, List[int]]
     Returns ``(union, offsets)`` where node ``i`` of input graph ``g``
     becomes node ``offsets[g] + i`` of the union.  Features are stacked;
     if any input lacks features, the union has none.
+
+    The union is assembled columnar — node/edge arrays are concatenated
+    with numpy and spliced into the ``HeteroGraph`` storage directly —
+    rather than via per-element ``add_node``/``add_edge`` calls, so the
+    micro-batching serving path can re-batch query graphs per request
+    without a Python-loop tax on every node and edge.
     """
     if not graphs:
         raise ValueError("batch_graphs needs at least one graph")
@@ -32,15 +38,7 @@ def batch_graphs(graphs: Sequence[HeteroGraph]) -> Tuple[HeteroGraph, List[int]]
             raise ValueError("all graphs in a batch must share one schema")
 
     union = HeteroGraph(schema)
-    offsets: List[int] = []
-    for g in graphs:
-        offset = union.num_nodes
-        offsets.append(offset)
-        for v in range(g.num_nodes):
-            union.add_node(g.node_type_name(v), g.node_name(v), aliases=g.node_aliases(v))
-        src, dst, et = g.edges()
-        for s, d, r in zip(src.tolist(), dst.tolist(), et.tolist()):
-            union.add_edge(s + offset, d + offset, r)
+    offsets: List[int] = [union.splice(g) for g in graphs]
 
     if all(g.features is not None for g in graphs):
         union.set_features(np.vstack([g.features for g in graphs]))

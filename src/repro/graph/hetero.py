@@ -30,6 +30,11 @@ class HeteroGraph:
         self._dst: List[int] = []
         self._etypes: List[int] = []
         self.features: Optional[np.ndarray] = None
+        #: bumped on every mutation through the public API; cheap dirty
+        #: check for downstream caches (e.g. the serving layer's
+        #: reference-embedding cache).  In-place edits of ``features``
+        #: rows bypass it — use :meth:`set_features`.
+        self.version = 0
         # caches
         self._arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._out_csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
@@ -65,6 +70,28 @@ class HeteroGraph:
         self._etypes.append(relation_id)
         return len(self._src) - 1
 
+    def splice(self, other: "HeteroGraph") -> int:
+        """Append ``other``'s nodes and edges columnar, returning the node
+        offset its ids were shifted by.
+
+        The fast path behind :func:`repro.graph.batch.batch_graphs`:
+        columns are extended wholesale instead of per-element
+        ``add_node``/``add_edge`` calls.  The caller is responsible for
+        schema compatibility (same node-type/relation id spaces) and for
+        features (not spliced — stack them separately).
+        """
+        self._invalidate()
+        offset = self.num_nodes
+        self._node_types.extend(other._node_types)
+        self._node_names.extend(other._node_names)
+        self._node_aliases.extend(other._node_aliases)
+        if other.num_edges:
+            src, dst, et = other.edges()
+            self._src.extend((src + offset).tolist())
+            self._dst.extend((dst + offset).tolist())
+            self._etypes.extend(et.tolist())
+        return offset
+
     def add_edge_by_name(self, src: int, dst: int, relation_name: str) -> int:
         """Add an edge resolving the relation id from the endpoint types."""
         rel = self.schema.relation_id(
@@ -80,8 +107,10 @@ class HeteroGraph:
                 f"features rows ({features.shape[0]}) != num nodes ({self.num_nodes})"
             )
         self.features = np.ascontiguousarray(features, dtype=np.float32)
+        self.version += 1
 
     def _invalidate(self) -> None:
+        self.version += 1
         self._arrays = None
         self._out_csr = None
         self._in_csr = None

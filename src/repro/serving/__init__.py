@@ -1,0 +1,15 @@
+"""Batched high-throughput linking service (the production-facing layer).
+
+Wraps a fitted :class:`~repro.core.pipeline.EDPipeline` behind
+:class:`LinkingService`, which serves ``link_batch(snippets)`` and
+``link_texts(texts)`` with a persisted reference-embedding cache, a
+micro-batch scheduler over disjoint-union forwards, an LRU result cache,
+and :class:`ServiceStats` telemetry.  See ``examples/serving_quickstart.py``
+and the ``repro serve`` CLI command.
+"""
+
+from .cache import LRUCache  # noqa: F401
+from .service import LinkingService, ServiceConfig  # noqa: F401
+from .stats import ServiceStats  # noqa: F401
+
+__all__ = ["LinkingService", "ServiceConfig", "ServiceStats", "LRUCache"]

@@ -1,0 +1,381 @@
+"""Batched, cached inference over a fitted :class:`~repro.core.pipeline.EDPipeline`.
+
+The pipeline's :meth:`disambiguate_snippet` ranks candidates for one
+mention at a time, paying per call for a query-graph compile and a GNN
+forward.  ``LinkingService`` amortises those costs for service-style
+traffic:
+
+* the **reference-embedding cache** — KB node embeddings are computed
+  once at construction (optionally persisted to disk) and reused for
+  every request; a fingerprint over the model weights and the KB shape
+  invalidates the cache when either changes;
+* the **micro-batch scheduler** — each request's query graphs are packed
+  into disjoint unions of at most ``max_batch_size`` graphs (via
+  :func:`repro.graph.batch.batch_graphs`) and embedded in one forward
+  pass, with all candidate pairs scored by a single ``score_pairs`` call;
+* the **result LRU cache** — rankings are memoised under (normalised
+  surface, candidate set, query-graph digest), so repeat mentions skip
+  the model entirely;
+* :class:`~repro.serving.stats.ServiceStats` — throughput, cache hit
+  rate, and batch-size telemetry, surfaced by ``repro serve``.
+
+Results are bit-for-bit identical to the sequential pipeline: a disjoint
+union has no cross-graph edges, so message passing never mixes graphs,
+and the scoring math is the same ``score_pairs`` the pipeline uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..core.pipeline import EDPipeline, Prediction
+from ..core.query_graph import QueryGraph, build_query_graph
+from ..graph.batch import batch_graphs
+from ..graph.index import normalize_surface
+from ..text.corpus import Snippet
+from ..text.embedder import HashingNgramEmbedder
+from .cache import LRUCache
+from .stats import ServiceStats
+
+
+class MemoizingEmbedder:
+    """Surface-embedding memo over a :class:`HashingNgramEmbedder`.
+
+    The hashing embedder is a deterministic pure function of the text, so
+    memoising it is exact; in serving traffic the same mention surfaces
+    recur across requests, and re-hashing them dominates query-graph
+    construction.  Bounded LRU so a high-cardinality stream cannot grow
+    it without limit.
+    """
+
+    def __init__(self, inner: HashingNgramEmbedder, capacity: int = 65536):
+        self.inner = inner
+        self._memo = LRUCache(capacity)
+
+    @property
+    def dim(self) -> int:
+        return self.inner.dim
+
+    def embed(self, text: str) -> np.ndarray:
+        vec = self._memo.get(text)
+        if vec is None:
+            vec = self.inner.embed(text)
+            self._memo.put(text, vec)
+        return vec
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.inner.dim), dtype=np.float32)
+        return np.stack([self.embed(t) for t in texts])
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the linking service."""
+
+    max_batch_size: int = 32  # query graphs per disjoint-union forward
+    cache_size: int = 2048  # LRU entries; <= 0 disables the result cache
+    top_k: int = 5
+    restrict_to_candidates: bool = True
+    ref_cache_path: Optional[str] = None  # persist KB embeddings here
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+
+class LinkingService:
+    """High-throughput entity-linking frontend over a fitted pipeline."""
+
+    def __init__(self, pipeline: EDPipeline, config: Optional[ServiceConfig] = None):
+        self.pipeline = pipeline
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._cache = LRUCache(self.config.cache_size)
+        self._embedder = MemoizingEmbedder(pipeline.embedder)
+        self._fingerprint: Optional[tuple] = None
+        self._h_ref: Optional[Tensor] = None
+        self._x_ref: Optional[Tensor] = None
+        self.refresh(force=True)
+
+    # ------------------------------------------------------------------
+    # Reference-embedding cache
+    # ------------------------------------------------------------------
+    def _weights_crc(self) -> int:
+        crc = 0
+        for _, param in sorted(self.pipeline.model.named_parameters()):
+            crc = zlib.crc32(np.ascontiguousarray(param.data).tobytes(), crc)
+        return crc
+
+    def fingerprint(self) -> tuple:
+        """Cheap per-request dirty check: model weights checksum plus the
+        KB's mutation counter and shape.  Catches weight updates and any
+        KB change made through the ``HeteroGraph`` API (including edge
+        rewires that keep counts constant); in-place edits of ``features``
+        rows bypass it — call :meth:`refresh` with ``force=True`` after
+        such surgery."""
+        kb = self.pipeline.kb
+        return (self._weights_crc(), kb.version, kb.num_nodes, kb.num_edges)
+
+    def content_fingerprint(self) -> int:
+        """Full content checksum (weights + KB nodes/edges/features) that
+        keys the *persisted* reference-embedding cache — unlike
+        :meth:`fingerprint` it is stable across processes."""
+        crc = self._weights_crc()
+        kb = self.pipeline.kb
+        crc = zlib.crc32(np.asarray(kb.node_types, dtype=np.int64).tobytes(), crc)
+        for column in kb.edges():
+            crc = zlib.crc32(np.ascontiguousarray(column).tobytes(), crc)
+        if kb.features is not None:
+            crc = zlib.crc32(np.ascontiguousarray(kb.features).tobytes(), crc)
+        return crc
+
+    def refresh(self, force: bool = False) -> bool:
+        """Recompute the reference embeddings if the model or KB changed
+        since they were cached.  Returns True when a rebuild happened."""
+        current = self.fingerprint()
+        if not force and current == self._fingerprint:
+            return False
+        self.pipeline.invalidate_ref_cache()
+        content = self.content_fingerprint()
+        h_ref = self._load_ref_cache(content)
+        if h_ref is None:
+            h_ref = self.pipeline.ref_embeddings()
+            self._save_ref_cache(content, h_ref)
+        else:
+            # Seed the pipeline's own cache so sequential calls agree.
+            self.pipeline._h_ref = h_ref
+        self._h_ref = Tensor(h_ref)
+        self._x_ref = Tensor(self.pipeline.kb.features)
+        self._fingerprint = current
+        self._cache.clear()
+        self.stats.record_ref_refresh()
+        return True
+
+    def _load_ref_cache(self, fingerprint: int) -> Optional[np.ndarray]:
+        path = self.config.ref_cache_path
+        if path is None or not os.path.exists(path):
+            return None
+        with np.load(path) as payload:
+            if int(payload["fingerprint"]) != fingerprint:
+                return None  # stale: model or KB changed since it was written
+            return payload["h_ref"]
+
+    def _save_ref_cache(self, fingerprint: int, h_ref: np.ndarray) -> None:
+        path = self.config.ref_cache_path
+        if path is None:
+            return
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        np.savez(path, fingerprint=np.int64(fingerprint), h_ref=h_ref)
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def link_batch(
+        self,
+        snippets: Sequence[Snippet],
+        top_k: Optional[int] = None,
+        restrict_to_candidates: Optional[bool] = None,
+    ) -> List[Prediction]:
+        """Link the ambiguous mention of every snippet; order-preserving.
+
+        Equivalent to calling ``disambiguate_snippet`` per snippet, but
+        cache-aware and batched.
+        """
+        top_k = self.config.top_k if top_k is None else top_k
+        restrict = (
+            self.config.restrict_to_candidates
+            if restrict_to_candidates is None
+            else restrict_to_candidates
+        )
+        self.refresh()
+        caching = self._cache.capacity > 0
+        predictions: List[Optional[Prediction]] = [None] * len(snippets)
+        pending: List[Tuple[int, QueryGraph, np.ndarray, tuple]] = []
+        queued: set = set()  # keys already in `pending` this request
+        deferred: List[Tuple[int, QueryGraph, np.ndarray, tuple]] = []
+        hits = misses = 0
+        for i, snippet in enumerate(snippets):
+            qg = self._build_query_graph(snippet)
+            candidates = self.pipeline.candidate_ids(
+                qg.mention_surface,
+                category=snippet.ambiguous_mention.category,
+                restrict_to_candidates=restrict,
+            )
+            key = self._cache_key(qg, candidates, restrict) if caching else None
+            cached = self._cache.get(key) if caching else None
+            if cached is not None:
+                hits += 1
+                ranked_ids, ranked_scores = cached
+                predictions[i] = Prediction(
+                    mention=qg.mention_surface,
+                    ranked_entities=ranked_ids[:top_k],
+                    scores=ranked_scores[:top_k],
+                )
+            elif caching and key in queued:
+                # Intra-batch repeat: the identical request is already
+                # queued for computation; serve this copy from the cache
+                # entry that computation will write.
+                hits += 1
+                deferred.append((i, qg, candidates, key))
+            else:
+                misses += 1
+                queued.add(key)
+                pending.append((i, qg, candidates, key))
+
+        for start in range(0, len(pending), self.config.max_batch_size):
+            chunk = pending[start : start + self.config.max_batch_size]
+            t0 = perf_counter()
+            scored = self._score_chunk([qg for _, qg, _, _ in chunk],
+                                       [cands for _, _, cands, _ in chunk])
+            self.stats.record_batch(len(chunk), perf_counter() - t0)
+            for (i, qg, candidates, key), scores in zip(chunk, scored):
+                order = np.argsort(-scores, kind="stable")
+                ranked_ids = [int(candidates[j]) for j in order]
+                ranked_scores = [float(scores[j]) for j in order]
+                self._cache.put(key, (ranked_ids, ranked_scores))
+                predictions[i] = Prediction(
+                    mention=qg.mention_surface,
+                    ranked_entities=ranked_ids[:top_k],
+                    scores=ranked_scores[:top_k],
+                )
+
+        for i, qg, candidates, key in deferred:
+            value = self._cache.get(key)
+            if value is None:
+                # The entry was evicted within this request (cache smaller
+                # than the request); recompute this one directly — and
+                # account it as the miss + forward pass it really is.
+                t0 = perf_counter()
+                [scores] = self._score_chunk([qg], [candidates])
+                self.stats.record_batch(1, perf_counter() - t0)
+                hits -= 1
+                misses += 1
+                order = np.argsort(-scores, kind="stable")
+                value = (
+                    [int(candidates[j]) for j in order],
+                    [float(scores[j]) for j in order],
+                )
+                self._cache.put(key, value)
+            ranked_ids, ranked_scores = value
+            predictions[i] = Prediction(
+                mention=qg.mention_surface,
+                ranked_entities=ranked_ids[:top_k],
+                scores=ranked_scores[:top_k],
+            )
+
+        self.stats.record_request(len(snippets))
+        self.stats.record_cache(hits, misses)
+        return predictions  # type: ignore[return-value]
+
+    def link_texts(
+        self,
+        texts: Sequence[str],
+        ambiguous_surfaces: Optional[Sequence[Optional[str]]] = None,
+        top_k: Optional[int] = None,
+    ) -> List[Prediction]:
+        """NER + linking for raw texts (one ambiguous mention per text)."""
+        if ambiguous_surfaces is None:
+            ambiguous_surfaces = [None] * len(texts)
+        if len(ambiguous_surfaces) != len(texts):
+            raise ValueError("ambiguous_surfaces must align with texts")
+        snippets = [
+            self.pipeline.snippet_from_text(text, surface)
+            for text, surface in zip(texts, ambiguous_surfaces)
+        ]
+        return self.link_batch(snippets, top_k=top_k)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_query_graph(self, snippet: Snippet) -> QueryGraph:
+        """Same construction as the pipeline's, through the surface-
+        embedding memo (exact — the hashing embedder is deterministic)."""
+        pipeline = self.pipeline
+        return build_query_graph(
+            snippet,
+            pipeline.kb,
+            pipeline.index,
+            self._embedder,
+            augment=pipeline.augment,
+            schema=pipeline.schema,
+        )
+
+    def _cache_key(self, qg: QueryGraph, candidates: np.ndarray, restrict: bool) -> tuple:
+        """(surface, candidate set, context digest): two requests share an
+        entry only when the model would score them identically, so caching
+        never changes results — the digest covers the query graph's
+        features (mention surfaces) and typed edge structure."""
+        graph = qg.graph
+        digest = hashlib.sha1()
+        if graph.features is not None:
+            digest.update(np.ascontiguousarray(graph.features).tobytes())
+        src, dst, et = graph.edges()
+        digest.update(src.tobytes())
+        digest.update(dst.tobytes())
+        digest.update(et.tobytes())
+        digest.update(np.int64(qg.mention_node).tobytes())
+        return (
+            normalize_surface(qg.mention_surface),
+            candidates.tobytes(),
+            digest.digest(),
+            restrict,
+        )
+
+    def _score_chunk(
+        self,
+        query_graphs: Sequence[QueryGraph],
+        candidate_sets: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        """One batched forward + one score_pairs call for a chunk.
+
+        Union-batchable encoders embed the whole chunk as one disjoint
+        union; graph-global encoders (MAGNN/HAN) embed per graph, and
+        only the pair scoring is batched — results are identical to the
+        sequential pipeline either way.
+        """
+        model = self.pipeline.model
+        lengths = [len(c) for c in candidate_sets]
+        model.eval()
+        with no_grad():
+            if model.encoder.union_batchable:
+                union, offsets = batch_graphs([qg.graph for qg in query_graphs])
+                compiled = model.compile(union)
+                x_qry = Tensor(union.features)
+                h_qry = model.embed(compiled, x_qry)
+            else:
+                offsets = list(np.cumsum([0] + [qg.graph.num_nodes for qg in query_graphs[:-1]]))
+                x_parts = [qg.graph.features for qg in query_graphs]
+                h_parts = [
+                    model.embed(model.compile(qg.graph), Tensor(qg.graph.features)).data
+                    for qg in query_graphs
+                ]
+                x_qry = Tensor(np.vstack(x_parts))
+                h_qry = Tensor(np.vstack(h_parts))
+            mention_ids = np.concatenate([
+                np.full(n, offsets[j] + query_graphs[j].mention_node, dtype=np.int64)
+                for j, n in enumerate(lengths)
+            ])
+            ref_ids = np.concatenate([
+                np.asarray(c, dtype=np.int64) for c in candidate_sets
+            ])
+            flat = model.score_pairs(
+                h_qry,
+                mention_ids,
+                self._h_ref,
+                ref_ids,
+                x_query=x_qry,
+                x_ref=self._x_ref,
+            ).data
+        bounds = np.cumsum([0] + lengths)
+        return [flat[bounds[j] : bounds[j + 1]] for j in range(len(lengths))]

@@ -1,0 +1,104 @@
+"""Service-side telemetry for the batched linking service.
+
+``ServiceStats`` is a plain counter object the :class:`LinkingService`
+updates on every request: mentions served, micro-batches executed and
+their sizes, result-cache hits/misses, reference-embedding refreshes,
+and wall time spent in batched forwards.  It renders to a dict (for the
+CLI's ``--json``) or a small aligned table (for humans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ServiceStats:
+    """Throughput / cache counters of one :class:`LinkingService`."""
+
+    requests: int = 0  # link_batch / link_texts calls
+    mentions: int = 0  # mentions linked (cached + computed)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0  # micro-batch forward passes
+    batch_sizes: List[int] = field(default_factory=list)
+    ref_refreshes: int = 0  # reference-embedding cache rebuilds
+    compute_seconds: float = 0.0  # wall time inside batched forwards
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, num_mentions: int) -> None:
+        self.requests += 1
+        self.mentions += num_mentions
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        self.batches += 1
+        self.batch_sizes.append(size)
+        self.compute_seconds += seconds
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    def record_ref_refresh(self) -> None:
+        self.ref_refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(self.batch_sizes) if self.batch_sizes else 0
+
+    @property
+    def mentions_per_second(self) -> float:
+        """Throughput of the compute path (cached hits cost ~nothing)."""
+        computed = sum(self.batch_sizes)
+        return computed / self.compute_seconds if self.compute_seconds > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "mentions": self.mentions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "max_batch_size": self.max_batch_size,
+            "ref_refreshes": self.ref_refreshes,
+            "compute_seconds": round(self.compute_seconds, 4),
+            "mentions_per_second": round(self.mentions_per_second, 2),
+        }
+
+    def format(self) -> str:
+        rows = self.to_dict()
+        width = max(len(k) for k in rows)
+        lines = ["serving stats:"]
+        for key, value in rows.items():
+            lines.append(f"  {key.ljust(width)}  {value}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.mentions = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batch_sizes = []
+        self.ref_refreshes = 0
+        self.compute_seconds = 0.0

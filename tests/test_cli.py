@@ -46,7 +46,9 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
     def test_all_subcommands_have_help(self, capsys):
-        for command in ("datasets", "synth", "train", "evaluate", "link", "explain", "reproduce"):
+        for command in (
+            "datasets", "synth", "train", "evaluate", "link", "serve", "explain", "reproduce",
+        ):
             with pytest.raises(SystemExit) as exc:
                 build_parser().parse_args([command, "--help"])
             assert exc.value.code == 0
@@ -120,6 +122,60 @@ class TestTrainAndLink:
         ) == 0
         out = capsys.readouterr().out
         assert "match:" in out
+
+
+class TestServe:
+    def test_dataset_split_with_stats(self, checkpoint, capsys):
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--dataset", "NCBI",
+                "--scale", SCALE,
+                "--limit", "6",
+                "--batch-size", "4",
+                "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving stats:" in out
+        assert "mentions_per_second" in out
+
+    def test_text_file_json(self, checkpoint, tmp_path, capsys):
+        texts = tmp_path / "texts.txt"
+        texts.write_text(SNIPPET_TEXT + "\n\n" + SNIPPET_TEXT + "\n")
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--input", str(texts),
+                "--json",
+                "--stats",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 3  # two predictions + the stats payload
+        assert {"entity_id", "name", "score"} <= set(lines[0]["candidates"][0])
+        assert lines[2]["stats"]["mentions"] == 2
+
+    def test_snippet_jsonl_input(self, checkpoint, tmp_path, capsys):
+        from repro.datasets import load_dataset
+        from repro.text import save_snippets
+
+        dataset = load_dataset("NCBI", scale=float(SCALE))
+        corpus = tmp_path / "snippets.jsonl"
+        save_snippets(dataset.test[:4], str(corpus))
+        assert main(
+            ["serve", "--checkpoint", checkpoint, "--input", str(corpus)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 4
+
+    def test_empty_input_exits(self, checkpoint, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["serve", "--checkpoint", checkpoint, "--input", str(empty)])
 
 
 class TestEvaluate:
