@@ -10,6 +10,7 @@ Figure 4) do not retrain.  All benches honour:
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, Optional, Tuple
 
@@ -17,6 +18,37 @@ from repro.eval.evaluator import SystemRun, run_system
 
 BENCH_EPOCHS = int(os.environ.get("REPRO_EPOCHS", "40"))
 SEED = int(os.environ.get("REPRO_SEED", "0"))
+
+# Serving perf guards.  CI's bench job and local runs read the same
+# floors from here, so a regression fails both identically instead of
+# drifting apart in copy-pasted thresholds.
+SERVING_SPEEDUP_FLOOR = 3.0  # batched vs sequential, full configuration
+SERVING_SMOKE_SPEEDUP_FLOOR = 1.5  # loose floor for the tiny CI smoke mode
+SERVING_DEADLINE_JITTER_MS = 100.0  # scheduler-wakeup slack on noisy CI VMs
+
+
+def serving_speedup_floor(smoke: bool) -> float:
+    """Minimum batched-over-sequential speedup the serving bench enforces."""
+    return SERVING_SMOKE_SPEEDUP_FLOOR if smoke else SERVING_SPEEDUP_FLOOR
+
+
+def update_bench_report(path: Optional[str], section: str, payload: dict) -> None:
+    """Merge one bench's results into a JSON report file.
+
+    Benches sharing a report (CI uploads ``BENCH_serving.json`` built by
+    the throughput and latency benches) each own a top-level section, so
+    running them in any order composes instead of clobbering.
+    """
+    if not path:
+        return
+    data = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 _RUNS: Dict[Tuple, SystemRun] = {}
 

@@ -7,8 +7,6 @@ in [0, 1] — the paper's "squamous cell carcinoma" -> "carcinoma
 epidermoid" example rendered for the synthetic MDX analogue.
 """
 
-import pytest
-
 from repro.core import GNNExplainer
 from repro.eval import BEST_VARIANT
 

@@ -1,0 +1,154 @@
+"""Serving latency under the deadline scheduler: p50/p95 vs the sync service.
+
+Trains one small ED-GNN, measures the synchronous batched service's
+capacity on a request stream, then replays the same stream through
+:class:`repro.serving.AsyncLinkingService` (KB sharding on) with
+arrivals paced at ~half the measured capacity — so the deadline policy,
+not queueing overload, dominates what the scheduler does.  Reports:
+
+* p50/p95 end-to-end latency (submit -> result) and p95 queue wait
+  (submit -> micro-batch formed) of the async path;
+* async vs sync throughput on the same stream;
+* ranking equivalence against the sequential
+  ``EDPipeline.disambiguate_snippet`` — the serving layer's contract.
+
+Fails when any ranking differs, or when the p95 queue wait blows the
+configured ``--deadline-ms`` budget (plus the shared CI jitter slack):
+the scheduler promises a partial batch is flushed once the oldest
+request's budget is up, so a fixed-size stall shows up here immediately.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving_latency.py
+      [--smoke] [--batch-size 32] [--deadline-ms 250] [--shards 2]
+      [--requests 192] [--report BENCH_serving.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _shared import SERVING_DEADLINE_JITTER_MS, update_bench_report
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+from repro.serving import AsyncLinkingService, LinkingService, ServiceConfig
+
+
+def run(args: argparse.Namespace) -> int:
+    scale = 0.2 if args.smoke else 0.3
+    epochs = 2 if args.smoke else 10
+    requests = 64 if args.smoke else args.requests
+
+    dataset = load_dataset("NCBI", scale=scale)
+    pipeline = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant=args.variant, num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=epochs, patience=max(5, epochs // 2), seed=0),
+    )
+    pipeline.fit(dataset.train, dataset.val, dataset.test)
+    stream = (dataset.test * ((requests // len(dataset.test)) + 1))[:requests]
+    print(
+        f"KB {dataset.kb.num_nodes} nodes / {dataset.kb.num_edges} edges, "
+        f"{len(stream)} requests, batch={args.batch_size}, "
+        f"deadline={args.deadline_ms:.0f}ms, shards={args.shards}"
+    )
+
+    pipeline.ref_embeddings()  # warm the KB-embedding cache for all paths
+    sequential = [pipeline.disambiguate_snippet(s, top_k=args.top_k) for s in stream]
+
+    # Sync capacity: one big batched call (result cache off so both paths
+    # pay the same compute).
+    sync_service = LinkingService(
+        pipeline, ServiceConfig(max_batch_size=args.batch_size, cache_size=0)
+    )
+    t0 = time.perf_counter()
+    sync_service.link_batch(stream, top_k=args.top_k)
+    t_sync = time.perf_counter() - t0
+    capacity = len(stream) / t_sync if t_sync > 0 else float("inf")
+
+    # Async replay, arrivals paced at ~half capacity.
+    inter_arrival = 2.0 / capacity if capacity > 0 else 0.0
+    service = LinkingService(
+        pipeline,
+        ServiceConfig(
+            max_batch_size=args.batch_size,
+            cache_size=0,
+            top_k=args.top_k,
+            num_shards=args.shards,
+        ),
+    )
+    with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
+        t0 = time.perf_counter()
+        futures = []
+        for snippet in stream:
+            futures.append(async_service.submit(snippet))
+            time.sleep(inter_arrival)
+        asynchronous = [f.result(timeout=60.0) for f in futures]
+        t_async = time.perf_counter() - t0
+        stats = async_service.stats
+
+    p50 = stats.latency_percentile(50)
+    p95 = stats.latency_percentile(95)
+    wait_p95 = stats.queue_wait_percentile(95)
+    mismatches = sum(
+        a.ranked_entities != b.ranked_entities for a, b in zip(sequential, asynchronous)
+    )
+    budget_ms = args.deadline_ms + SERVING_DEADLINE_JITTER_MS
+
+    print(f"sync batched   {len(stream) / t_sync:8.0f} mentions/s  ({t_sync:.3f}s)")
+    print(f"async paced    {len(stream) / t_async:8.0f} mentions/s  ({t_async:.3f}s)")
+    print(f"latency        p50 {p50:7.1f} ms   p95 {p95:7.1f} ms")
+    print(f"queue wait     p95 {wait_p95:7.1f} ms  (deadline {args.deadline_ms:.0f}ms)")
+    print(f"batch sizes    mean {stats.mean_batch_size:.1f}  max {stats.max_batch_size}")
+    print(f"equivalence    {len(stream) - mismatches}/{len(stream)} rankings identical")
+
+    update_bench_report(
+        args.report,
+        "latency",
+        {
+            "smoke": args.smoke,
+            "variant": args.variant,
+            "batch_size": args.batch_size,
+            "deadline_ms": args.deadline_ms,
+            "shards": args.shards,
+            "requests": len(stream),
+            "sync_mentions_per_s": round(len(stream) / t_sync, 1),
+            "async_mentions_per_s": round(len(stream) / t_async, 1),
+            "latency_p50_ms": round(p50, 2),
+            "latency_p95_ms": round(p95, 2),
+            "queue_wait_p95_ms": round(wait_p95, 2),
+            "queue_wait_budget_ms": budget_ms,
+            "mean_batch_size": round(stats.mean_batch_size, 2),
+            "ranking_mismatches": mismatches,
+        },
+    )
+    if mismatches:
+        print(f"FAIL: {mismatches} async rankings differ from sequential")
+        return 1
+    if wait_p95 > budget_ms:
+        print(
+            f"FAIL: p95 queue wait {wait_p95:.1f}ms blows the {args.deadline_ms:.0f}ms "
+            f"deadline (+{SERVING_DEADLINE_JITTER_MS:.0f}ms jitter slack)"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI configuration")
+    parser.add_argument("--variant", default="graphsage")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--deadline-ms", type=float, default=250.0)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=192)
+    parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument(
+        "--report", default=None, help="merge results into this JSON report file"
+    )
+    return run(parser.parse_args())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

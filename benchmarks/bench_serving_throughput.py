@@ -25,6 +25,7 @@ import argparse
 import sys
 import time
 
+from _shared import serving_speedup_floor, update_bench_report
 from repro.core import EDPipeline, ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 from repro.serving import LinkingService, ServiceConfig
@@ -80,10 +81,27 @@ def run(args: argparse.Namespace) -> int:
     print(f"equivalence    {len(stream) - mismatches}/{len(stream)} rankings identical")
     print(cached_service.stats.format())
 
+    floor = serving_speedup_floor(args.smoke)
+    update_bench_report(
+        args.report,
+        "throughput",
+        {
+            "smoke": args.smoke,
+            "variant": args.variant,
+            "batch_size": args.batch_size,
+            "requests": len(stream),
+            "sequential_mentions_per_s": round(len(stream) / t_seq, 1),
+            "batched_mentions_per_s": round(len(stream) / t_batch, 1),
+            "cached_mentions_per_s": round(len(stream) / t_cached, 1),
+            "speedup": round(speedup, 2),
+            "cached_speedup": round(cached_speedup, 2),
+            "speedup_floor": floor,
+            "ranking_mismatches": mismatches,
+        },
+    )
     if mismatches:
         print(f"FAIL: {mismatches} batched rankings differ from sequential")
         return 1
-    floor = 1.5 if args.smoke else 3.0
     if speedup < floor:
         print(f"FAIL: batched speedup {speedup:.2f}x below the {floor}x floor")
         return 1
@@ -98,6 +116,9 @@ def main() -> int:
     parser.add_argument("--batch-size", type=int, default=32)
     parser.add_argument("--requests", type=int, default=256)
     parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument(
+        "--report", default=None, help="merge results into this JSON report file"
+    )
     return run(parser.parse_args())
 
 

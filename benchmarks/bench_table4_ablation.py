@@ -10,7 +10,7 @@ MAGNN) and does nothing for relation-blind GraphSAGE.
 
 import pytest
 
-from repro.eval import BEST_VARIANT, format_table
+from repro.eval import format_table
 
 from _shared import fmt, get_run
 

@@ -14,29 +14,44 @@ indexing, gather/scatter message passing, and the usual activations.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread tape-recording switch.
+
+    The serving layer's shard workers enter inference mode concurrently;
+    a process-global flag would race on the save/restore in ``no_grad``
+    and could leave recording off (or on) for unrelated threads.  The
+    class attribute is the per-thread default: every new thread starts
+    with recording enabled.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables tape recording (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables tape recording (inference mode) on
+    the current thread."""
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_mode.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -80,7 +95,7 @@ class Tensor:
         if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
             self.data = self.data.astype(np.float32)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self.name = name
@@ -142,7 +157,7 @@ class Tensor:
         backward: Optional[Callable[[np.ndarray], None]],
     ) -> "Tensor":
         parents = tuple(p for p in parents if isinstance(p, Tensor))
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents

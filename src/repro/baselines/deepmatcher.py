@@ -13,7 +13,7 @@ acronym collisions ("ARF" matches both expansions equally well).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -16,14 +16,14 @@ in the original paper.  NormCo uses text only — no KB structure.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..autograd import GRU, Linear, Tensor, rows_dot, stack
+from ..autograd import GRU, Linear, Tensor, rows_dot
 from ..graph.hetero import HeteroGraph
 from ..text.embedder import HashingNgramEmbedder
-from .base import PairBaseline, PairExample, TokenMatrixizer
+from .base import PairBaseline, PairExample
 
 
 class NormCo(PairBaseline):

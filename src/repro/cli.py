@@ -203,10 +203,43 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_snippet_line(pipeline, line: str, source: str):
+    """One serve-input line: snippet JSONL if it parses, else raw text
+    pushed through the (simulated) NER."""
+    from repro.text.corpus import Snippet
+
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "Text" in payload:
+        return Snippet.from_dict(payload)
+    try:
+        return pipeline.snippet_from_text(line)
+    except ValueError as exc:
+        raise SystemExit(f"{source}: {exc}: {line!r}") from None
+
+
+def _iter_snippet_lines(pipeline, lines, source: str, limit: Optional[int]):
+    """Lazily parse non-empty input lines into snippets (stdin streaming
+    must not slurp the whole stream before the first batch runs)."""
+    count = 0
+    for line in lines:
+        if limit is not None and count >= limit:
+            return
+        line = line.strip()
+        if not line:
+            continue
+        yield _parse_snippet_line(pipeline, line, source)
+        count += 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Batched linking over a text file / snippet corpus / dataset split,
-    through the :mod:`repro.serving` service; surfaces ServiceStats."""
-    from repro.serving import LinkingService, ServiceConfig
+    """Batched linking over a text file / snippet corpus / dataset split /
+    stdin stream, through the :mod:`repro.serving` service.  ``--async``
+    routes requests through the deadline scheduler and ``--shards`` fans
+    candidate scoring across KB shards; surfaces ServiceStats."""
+    from repro.serving import AsyncLinkingService, LinkingService, ServiceConfig
 
     pipeline = _load_checkpoint(args.checkpoint)
     try:
@@ -215,73 +248,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             top_k=args.top_k,
             ref_cache_path=args.ref_cache,
+            num_shards=args.shards,
         )
+        if args.deadline_ms <= 0:
+            raise ValueError("--deadline-ms must be > 0")
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     service = LinkingService(pipeline, config)
+    streaming = args.input == "-"
 
-    snippets = []
-    if args.input:
-        from repro.text.corpus import Snippet
-
-        with open(args.input, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    payload = None
-                if isinstance(payload, dict) and "Text" in payload:
-                    snippets.append(Snippet.from_dict(payload))
-                else:
-                    try:
-                        snippets.append(pipeline.snippet_from_text(line))
-                    except ValueError as exc:
-                        raise SystemExit(f"{args.input}: {exc}: {line!r}") from None
-    else:
-        from repro.datasets import load_dataset
-
-        dataset = load_dataset(args.dataset, scale=args.scale)
-        split = {"train": dataset.train, "val": dataset.val, "test": dataset.test}[args.split]
-        snippets = list(split)
-    if args.limit is not None:
-        snippets = snippets[: args.limit]
-    if not snippets:
-        raise SystemExit("no snippets to link")
-
-    predictions = service.link_batch(snippets, top_k=args.top_k)
-    if args.json:
-        for prediction in predictions:
-            print(
-                json.dumps(
+    def emit(prediction) -> None:
+        if args.json:
+            payload = {
+                "mention": prediction.mention,
+                "candidates": [
                     {
-                        "mention": prediction.mention,
-                        "candidates": [
-                            {
-                                "entity_id": e,
-                                "name": pipeline.entity_name(e),
-                                "score": round(s, 4),
-                            }
-                            for e, s in zip(prediction.ranked_entities, prediction.scores)
-                        ],
+                        "entity_id": e,
+                        "name": pipeline.entity_name(e),
+                        "score": round(s, 4),
                     }
-                )
+                    for e, s in zip(prediction.ranked_entities, prediction.scores)
+                ],
+            }
+            print(json.dumps(payload), flush=streaming)
+        else:
+            top = prediction.top()
+            print(
+                f"{prediction.mention!r} -> {pipeline.entity_name(top)!r} "
+                f"(score {prediction.scores[0]:.3f})",
+                flush=streaming,
             )
-        if args.stats:
-            print(json.dumps({"stats": service.stats.to_dict()}))
-        return 0
 
-    for prediction in predictions:
-        top = prediction.top()
-        print(
-            f"{prediction.mention!r} -> {pipeline.entity_name(top)!r} "
-            f"(score {prediction.scores[0]:.3f})"
-        )
+    served = 0
+    try:
+        if streaming:
+            # Incremental: results are flushed as each micro-batch lands,
+            # so `repro serve --input - | head` behaves like a unix tool
+            # (BrokenPipeError is handled by main()).
+            snippets = _iter_snippet_lines(pipeline, sys.stdin, "stdin", args.limit)
+            if args.use_async:
+                with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
+                    for prediction in async_service.link_stream(snippets):
+                        emit(prediction)
+                        served += 1
+            else:
+                chunk = []
+                for snippet in snippets:
+                    chunk.append(snippet)
+                    if len(chunk) >= config.max_batch_size:
+                        for prediction in service.link_batch(chunk, top_k=args.top_k):
+                            emit(prediction)
+                        served += len(chunk)
+                        chunk = []
+                for prediction in (service.link_batch(chunk, top_k=args.top_k) if chunk else []):
+                    emit(prediction)
+                served += len(chunk)
+        else:
+            if args.input:
+                with open(args.input, encoding="utf-8") as fh:
+                    snippets = list(
+                        _iter_snippet_lines(pipeline, fh, args.input, args.limit)
+                    )
+            else:
+                from repro.datasets import load_dataset
+
+                dataset = load_dataset(args.dataset, scale=args.scale)
+                split = {
+                    "train": dataset.train, "val": dataset.val, "test": dataset.test,
+                }[args.split]
+                snippets = list(split)[: args.limit]
+            if not snippets:
+                raise SystemExit("no snippets to link")
+            if args.use_async:
+                with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
+                    predictions = async_service.link_batch(snippets)
+            else:
+                predictions = service.link_batch(snippets, top_k=args.top_k)
+            for prediction in predictions:
+                emit(prediction)
+            served = len(snippets)
+    finally:
+        service.close()
+
+    if served == 0:
+        raise SystemExit("no snippets to link")
     if args.stats:
-        print()
-        print(service.stats.format())
+        if args.json:
+            print(json.dumps({"stats": service.stats.to_dict()}), flush=streaming)
+        else:
+            print(flush=streaming)
+            print(service.stats.format(), flush=streaming)
     return 0
 
 
@@ -470,7 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--input",
         default=None,
-        help="file of raw texts (one per line) or snippet JSONL; default: dataset split",
+        help="file of raw texts (one per line) or snippet JSONL; '-' streams "
+        "JSONL/text from stdin with incremental output; default: dataset split",
     )
     p.add_argument("--dataset", default="NCBI", help="dataset when --input is omitted")
     p.add_argument("--split", default="test", choices=["train", "val", "test"])
@@ -480,6 +537,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-size", type=int, default=2048, help="LRU entries; 0 disables")
     p.add_argument("--ref-cache", default=None, help="persist KB embeddings to this .npz")
     p.add_argument("--top-k", type=int, default=5)
+    p.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="queue requests through the deadline-aware micro-batch scheduler",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=25.0,
+        help="latency budget before a partial micro-batch is flushed (--async)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the KB into N shards and fan candidate scoring out",
+    )
     p.add_argument("--json", action="store_true")
     p.add_argument("--stats", action="store_true", help="print serving stats afterwards")
     p.set_defaults(func=_cmd_serve)

@@ -21,7 +21,7 @@ from typing import Dict, Tuple
 import numpy as np
 from scipy import stats
 
-from .metrics import PRF, precision_recall_f1
+from .metrics import precision_recall_f1
 
 __all__ = [
     "ConfidenceInterval",

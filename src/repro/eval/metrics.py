@@ -10,7 +10,7 @@ systems classify each pair and are scored on the positive class.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ Hidden states are L2-normalised per layer as in the original paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ yield multiple candidates and stay unresolved for the GNN to disambiguate.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from .hetero import HeteroGraph
 

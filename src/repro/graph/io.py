@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

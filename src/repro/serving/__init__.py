@@ -4,12 +4,29 @@ Wraps a fitted :class:`~repro.core.pipeline.EDPipeline` behind
 :class:`LinkingService`, which serves ``link_batch(snippets)`` and
 ``link_texts(texts)`` with a persisted reference-embedding cache, a
 micro-batch scheduler over disjoint-union forwards, an LRU result cache,
-and :class:`ServiceStats` telemetry.  See ``examples/serving_quickstart.py``
-and the ``repro serve`` CLI command.
+and :class:`ServiceStats` telemetry.  On top of it,
+:class:`AsyncLinkingService` (``scheduler``) accepts requests onto a
+queue and forms micro-batches under a latency deadline, and
+:class:`ShardedKB` (``sharding``) partitions the KB and its embedding
+cache for fan-out candidate scoring (``ServiceConfig(num_shards=N)``).
+See ``examples/serving_quickstart.py`` and the ``repro serve`` CLI
+command.
 """
 
 from .cache import LRUCache  # noqa: F401
+from .scheduler import AsyncLinkingService, DeadlineBatcher, QueuedRequest  # noqa: F401
 from .service import LinkingService, ServiceConfig  # noqa: F401
+from .sharding import KBShard, ShardedKB  # noqa: F401
 from .stats import ServiceStats  # noqa: F401
 
-__all__ = ["LinkingService", "ServiceConfig", "ServiceStats", "LRUCache"]
+__all__ = [
+    "LinkingService",
+    "ServiceConfig",
+    "ServiceStats",
+    "LRUCache",
+    "AsyncLinkingService",
+    "DeadlineBatcher",
+    "QueuedRequest",
+    "ShardedKB",
+    "KBShard",
+]

@@ -1,0 +1,254 @@
+"""Deadline-aware asynchronous serving.
+
+``AsyncLinkingService`` fronts the batched :class:`LinkingService` with a
+request queue and a background worker that forms micro-batches under a
+deadline policy:
+
+* a batch is flushed the moment ``max_batch_size`` requests are waiting
+  (high traffic gets full batches with no added latency), OR
+* when the *oldest* queued request's ``deadline_ms`` budget would be
+  blown by waiting longer (low traffic never stalls behind a fixed batch
+  size).
+
+The policy itself lives in :class:`DeadlineBatcher`, which holds no
+threads and never reads the wall clock — the caller passes ``now`` — so
+it is unit-testable with a fake clock.  The worker thread wraps it with a
+condition variable whose wait timeout is the oldest pending deadline.
+
+Results are the same ``Prediction`` objects the sequential
+``EDPipeline.disambiguate_snippet`` produces (the equivalence contract of
+the serving layer): compute is delegated to a ``LinkingService``, which
+may itself fan candidate scoring out across a
+:class:`~repro.serving.sharding.ShardedKB`.
+
+Request latency (submit -> result) and queue wait (submit -> batch
+formed) are recorded into :class:`~repro.serving.stats.ServiceStats`,
+which serves p50/p95 percentiles for the CLI and the latency bench.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.pipeline import EDPipeline, Prediction
+from ..text.corpus import Snippet
+from .service import LinkingService, ServiceConfig
+from .stats import ServiceStats
+
+
+@dataclass
+class QueuedRequest:
+    """One request waiting for a micro-batch slot."""
+
+    snippet: Snippet
+    enqueued_at: float
+    deadline_at: float
+    future: Future = field(default_factory=Future)
+
+
+class DeadlineBatcher:
+    """Pure deadline-policy micro-batch former (no threads, no clock).
+
+    FIFO queue of :class:`QueuedRequest`; :meth:`poll` decides — given
+    the caller's ``now`` — whether a batch is due: immediately when a
+    full ``max_batch_size`` is waiting, else once the oldest request's
+    deadline would be blown by waiting longer.
+    """
+
+    def __init__(self, max_batch_size: int, deadline_s: float):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.deadline_s = deadline_s
+        self._queue: Deque[QueuedRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def add(self, request: QueuedRequest) -> None:
+        self._queue.append(request)
+
+    def next_deadline(self) -> Optional[float]:
+        """Absolute deadline of the oldest queued request (None if idle)."""
+        return self._queue[0].deadline_at if self._queue else None
+
+    def seconds_until_flush(self, now: float) -> Optional[float]:
+        """Longest the worker may sleep before a flush can become due.
+
+        ``None`` when the queue is idle (sleep until a request arrives),
+        ``0`` when a batch is already due.
+        """
+        if not self._queue:
+            return None
+        if len(self._queue) >= self.max_batch_size:
+            return 0.0
+        return max(0.0, self._queue[0].deadline_at - now)
+
+    def poll(self, now: float) -> List[QueuedRequest]:
+        """The next micro-batch to run, or ``[]`` if none is due yet."""
+        if len(self._queue) >= self.max_batch_size:
+            return self._pop(self.max_batch_size)
+        if self._queue and now >= self._queue[0].deadline_at:
+            return self._pop(self.max_batch_size)
+        return []
+
+    def drain(self) -> List[QueuedRequest]:
+        """Pop up to one batch regardless of deadlines (shutdown path)."""
+        return self._pop(self.max_batch_size)
+
+    def _pop(self, limit: int) -> List[QueuedRequest]:
+        return [self._queue.popleft() for _ in range(min(limit, len(self._queue)))]
+
+
+class AsyncLinkingService:
+    """Queue-fronted linking with deadline-bounded micro-batching.
+
+    ``submit`` enqueues one snippet and returns a
+    ``concurrent.futures.Future`` resolving to the same ``Prediction``
+    the sequential pipeline would return; ``link_batch`` and
+    ``link_stream`` are order-preserving conveniences on top.  Accepts a
+    fitted :class:`EDPipeline` (a ``LinkingService`` is built from
+    ``config``) or an existing ``LinkingService`` (e.g. one configured
+    with ``num_shards > 1`` for sharded scoring).
+    """
+
+    def __init__(
+        self,
+        pipeline_or_service: Union[EDPipeline, LinkingService],
+        config: Optional[ServiceConfig] = None,
+        *,
+        deadline_ms: float = 25.0,
+        max_batch_size: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+    ):
+        if isinstance(pipeline_or_service, LinkingService):
+            if config is not None:
+                raise ValueError("pass config to the LinkingService, not here")
+            self.service = pipeline_or_service
+        else:
+            self.service = LinkingService(pipeline_or_service, config)
+        # The worker's Condition.wait timeout elapses in real time, so the
+        # service clock must be the monotonic wall clock; fake-clock tests
+        # target DeadlineBatcher, which takes `now` from its caller.
+        self.clock = time.monotonic
+        self.deadline_s = deadline_ms / 1000.0
+        batch = max_batch_size or self.service.config.max_batch_size
+        self.batcher = DeadlineBatcher(batch, self.deadline_s)
+        self.max_in_flight = max_in_flight or max(64, 4 * batch)
+        self._cond = threading.Condition()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="async-linking-worker", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self.service.stats
+
+    @property
+    def pipeline(self) -> EDPipeline:
+        return self.service.pipeline
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def submit(self, snippet: Snippet) -> "Future[Prediction]":
+        """Enqueue one snippet; the future resolves to its Prediction."""
+        now = self.clock()
+        request = QueuedRequest(snippet, now, now + self.deadline_s)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("AsyncLinkingService is closed")
+            self.batcher.add(request)
+            self._cond.notify()
+        return request.future
+
+    def link_batch(
+        self, snippets: Sequence[Snippet], timeout: Optional[float] = None
+    ) -> List[Prediction]:
+        """Submit every snippet and gather results in input order."""
+        futures = [self.submit(snippet) for snippet in snippets]
+        return [future.result(timeout) for future in futures]
+
+    def link_stream(self, snippets: Iterable[Snippet]) -> Iterator[Prediction]:
+        """Order-preserving incremental results over a (lazy) stream.
+
+        Yields each prediction as soon as it — and everything before it —
+        is done, keeping at most ``max_in_flight`` requests outstanding
+        so an unbounded stdin stream cannot grow the queue without limit.
+        """
+        window: Deque[Future] = deque()
+        for snippet in snippets:
+            window.append(self.submit(snippet))
+            if len(window) >= self.max_in_flight:
+                yield window.popleft().result()
+            while window and window[0].done():
+                yield window.popleft().result()
+        while window:
+            yield window.popleft().result()
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    batch = self.batcher.poll(self.clock())
+                    if not batch and self._closed:
+                        batch = self.batcher.drain()
+                        if not batch:
+                            return
+                    if batch:
+                        break
+                    self._cond.wait(self.batcher.seconds_until_flush(self.clock()))
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[QueuedRequest]) -> None:
+        formed_at = self.clock()
+        # A caller may have cancelled its future while the request sat in
+        # the queue; transition the rest to RUNNING so set_result below is
+        # always legal and the worker thread can never be killed by an
+        # InvalidStateError.
+        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        try:
+            predictions = self.service.link_batch([r.snippet for r in live])
+        except BaseException as exc:  # propagate to every waiter in the batch
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        done_at = self.clock()
+        for request, prediction in zip(live, predictions):
+            self.stats.record_latency(
+                done_at - request.enqueued_at, formed_at - request.enqueued_at
+            )
+            request.future.set_result(prediction)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue, stop the worker, release shard workers."""
+        with self._cond:
+            if self._closed and not self._worker.is_alive():
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+        self.service.close()
+
+    def __enter__(self) -> "AsyncLinkingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

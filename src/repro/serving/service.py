@@ -86,10 +86,14 @@ class ServiceConfig:
     top_k: int = 5
     restrict_to_candidates: bool = True
     ref_cache_path: Optional[str] = None  # persist KB embeddings here
+    num_shards: int = 1  # KB shards for fan-out candidate scoring
+    shard_workers: Optional[int] = None  # worker threads (default: one per shard)
 
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
 
 
 class LinkingService:
@@ -104,6 +108,7 @@ class LinkingService:
         self._fingerprint: Optional[tuple] = None
         self._h_ref: Optional[Tensor] = None
         self._x_ref: Optional[Tensor] = None
+        self._sharded = None  # ShardedKB when config.num_shards > 1
         self.refresh(force=True)
 
     # ------------------------------------------------------------------
@@ -155,10 +160,34 @@ class LinkingService:
             self.pipeline._h_ref = h_ref
         self._h_ref = Tensor(h_ref)
         self._x_ref = Tensor(self.pipeline.kb.features)
+        if self.config.num_shards > 1:
+            self._refresh_shards(h_ref, previous=self._fingerprint, current=current)
         self._fingerprint = current
         self._cache.clear()
         self.stats.record_ref_refresh()
         return True
+
+    def _refresh_shards(self, h_ref: np.ndarray, previous: Optional[tuple], current: tuple) -> None:
+        """(Re)build or warm-start the sharded scoring backend.
+
+        When only the weights changed (KB version/shape untouched) the
+        shard views stay valid and the fresh embedding matrix is just
+        re-sliced into them — the warm-start ref-cache distribution; any
+        KB change rebuilds the partition."""
+        from .sharding import ShardedKB
+
+        kb_unchanged = previous is not None and previous[1:] == current[1:]
+        if self._sharded is not None and kb_unchanged:
+            self._sharded.distribute(h_ref)
+            return
+        if self._sharded is not None:
+            self._sharded.close()
+        self._sharded = ShardedKB(
+            self.pipeline,
+            self.config.num_shards,
+            ref_embeddings=h_ref,
+            max_workers=self.config.shard_workers,
+        )
 
     def _load_ref_cache(self, fingerprint: int) -> Optional[np.ndarray]:
         path = self.config.ref_cache_path
@@ -177,6 +206,17 @@ class LinkingService:
         if directory:
             os.makedirs(directory, exist_ok=True)
         np.savez(path, fingerprint=np.int64(fingerprint), h_ref=h_ref)
+
+    @property
+    def sharded(self):
+        """The :class:`~repro.serving.sharding.ShardedKB` backend, or
+        ``None`` when scoring runs against the unsharded KB."""
+        return self._sharded
+
+    def close(self) -> None:
+        """Release shard worker threads (no-op when unsharded)."""
+        if self._sharded is not None:
+            self._sharded.close()
 
     # ------------------------------------------------------------------
     # Request API
@@ -369,13 +409,20 @@ class LinkingService:
             ref_ids = np.concatenate([
                 np.asarray(c, dtype=np.int64) for c in candidate_sets
             ])
-            flat = model.score_pairs(
-                h_qry,
-                mention_ids,
-                self._h_ref,
-                ref_ids,
-                x_query=x_qry,
-                x_ref=self._x_ref,
-            ).data
+            if self._sharded is not None:
+                # Fan the flat pair list out across the KB shards; the
+                # gather is positional, so scores match the unsharded call.
+                flat = self._sharded.score_pairs_flat(
+                    h_qry, mention_ids, ref_ids, x_query=x_qry
+                )
+            else:
+                flat = model.score_pairs(
+                    h_qry,
+                    mention_ids,
+                    self._h_ref,
+                    ref_ids,
+                    x_query=x_qry,
+                    x_ref=self._x_ref,
+                ).data
         bounds = np.cumsum([0] + lengths)
         return [flat[bounds[j] : bounds[j + 1]] for j in range(len(lengths))]

@@ -3,14 +3,25 @@
 ``ServiceStats`` is a plain counter object the :class:`LinkingService`
 updates on every request: mentions served, micro-batches executed and
 their sizes, result-cache hits/misses, reference-embedding refreshes,
-and wall time spent in batched forwards.  It renders to a dict (for the
+and wall time spent in batched forwards.  The deadline scheduler
+(:mod:`repro.serving.scheduler`) additionally records per-request
+latency (submit -> result) and queue wait (submit -> batch formed), from
+which p50/p95 percentiles are served.  It renders to a dict (for the
 CLI's ``--json``) or a small aligned table (for humans).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Deque, Dict, List
+
+import numpy as np
+
+#: Sliding-window size for latency percentiles: a long-lived async
+#: service must not grow per-request state without bound, and recent
+#: requests are what an operator watching p95 cares about.
+LATENCY_WINDOW = 8192
 
 
 @dataclass
@@ -25,6 +36,9 @@ class ServiceStats:
     batch_sizes: List[int] = field(default_factory=list)
     ref_refreshes: int = 0  # reference-embedding cache rebuilds
     compute_seconds: float = 0.0  # wall time inside batched forwards
+    # submit -> result / submit -> batch formed, most recent LATENCY_WINDOW
+    latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    queue_waits_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     # ------------------------------------------------------------------
     # Recording
@@ -44,6 +58,11 @@ class ServiceStats:
 
     def record_ref_refresh(self) -> None:
         self.ref_refreshes += 1
+
+    def record_latency(self, total_seconds: float, queue_wait_seconds: float = 0.0) -> None:
+        """One async request's end-to-end latency and its queue wait."""
+        self.latencies_ms.append(total_seconds * 1000.0)
+        self.queue_waits_ms.append(queue_wait_seconds * 1000.0)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -67,11 +86,25 @@ class ServiceStats:
         computed = sum(self.batch_sizes)
         return computed / self.compute_seconds if self.compute_seconds > 0 else 0.0
 
+    def latency_percentile(self, p: float) -> float:
+        """p-th percentile of request latency in ms over the most recent
+        ``LATENCY_WINDOW`` requests (0.0 before any async request
+        completes)."""
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), p))
+
+    def queue_wait_percentile(self, p: float) -> float:
+        """p-th percentile of time spent queued before a batch formed."""
+        if not self.queue_waits_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.queue_waits_ms), p))
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, float]:
-        return {
+        payload = {
             "requests": self.requests,
             "mentions": self.mentions,
             "cache_hits": self.cache_hits,
@@ -84,6 +117,16 @@ class ServiceStats:
             "compute_seconds": round(self.compute_seconds, 4),
             "mentions_per_second": round(self.mentions_per_second, 2),
         }
+        if self.latencies_ms:
+            # Only async serving records latencies; the sync service's
+            # payload keeps its original shape.
+            payload.update(
+                latency_p50_ms=round(self.latency_percentile(50), 2),
+                latency_p95_ms=round(self.latency_percentile(95), 2),
+                queue_wait_p50_ms=round(self.queue_wait_percentile(50), 2),
+                queue_wait_p95_ms=round(self.queue_wait_percentile(95), 2),
+            )
+        return payload
 
     def format(self) -> str:
         rows = self.to_dict()
@@ -102,3 +145,5 @@ class ServiceStats:
         self.batch_sizes = []
         self.ref_refreshes = 0
         self.compute_seconds = 0.0
+        self.latencies_ms = deque(maxlen=LATENCY_WINDOW)
+        self.queue_waits_ms = deque(maxlen=LATENCY_WINDOW)

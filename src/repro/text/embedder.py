@@ -14,7 +14,7 @@ buckets and get high cosine similarity.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ pipeline depends on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.hetero import HeteroGraph

@@ -1,6 +1,5 @@
 """Tests for the dataset-characterisation subpackage (repro.analysis)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,7 +1,6 @@
 """Tests for fuzzy candidate generation and the end-to-end linking
 evaluation (ranking view)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -177,6 +177,70 @@ class TestServe:
         with pytest.raises(SystemExit):
             main(["serve", "--checkpoint", checkpoint, "--input", str(empty)])
 
+    def test_stdin_streaming(self, checkpoint, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SNIPPET_TEXT + "\n\n" + SNIPPET_TEXT + "\n"))
+        assert main(
+            ["serve", "--checkpoint", checkpoint, "--input", "-", "--batch-size", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 2
+
+    def test_stdin_async_sharded_json(self, checkpoint, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SNIPPET_TEXT + "\n" + SNIPPET_TEXT + "\n"))
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--input", "-",
+                "--async",
+                "--deadline-ms", "20",
+                "--shards", "2",
+                "--json",
+                "--stats",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 3  # two predictions + the stats payload
+        assert {"entity_id", "name", "score"} <= set(lines[0]["candidates"][0])
+        stats = lines[2]["stats"]
+        assert stats["mentions"] == 2
+        assert "latency_p95_ms" in stats and "queue_wait_p95_ms" in stats
+
+    def test_async_matches_sync_on_split(self, checkpoint, capsys):
+        argv = [
+            "serve",
+            "--checkpoint", checkpoint,
+            "--dataset", "NCBI",
+            "--scale", SCALE,
+            "--limit", "4",
+            "--json",
+        ]
+        assert main(argv) == 0
+        sync_out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert main(argv + ["--async", "--deadline-ms", "15", "--shards", "2"]) == 0
+        async_out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        for a, b in zip(sync_out, async_out):
+            assert a["mention"] == b["mention"]
+            assert [c["entity_id"] for c in a["candidates"]] == [
+                c["entity_id"] for c in b["candidates"]
+            ]
+
+    def test_bad_deadline_rejected(self, checkpoint):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--checkpoint", checkpoint,
+                    "--input", "-",
+                    "--async",
+                    "--deadline-ms", "0",
+                ]
+            )
+
 
 class TestEvaluate:
     def test_json_payload(self, capsys):

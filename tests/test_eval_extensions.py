@@ -183,8 +183,6 @@ class TestDiscrepancyBreakdown:
         return run_system("NCBI", "graphsage", epochs=2, scale=0.2)
 
     def test_covers_all_positive_pairs(self, run):
-        from repro.datasets import load_dataset
-
         kb = run.pipeline.kb
         breakdown = discrepancy_breakdown(run.test_records, kb)
         positives = sum(1 for r in run.test_records if r.label == 1)

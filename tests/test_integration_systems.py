@@ -2,7 +2,6 @@
 system trains end to end, results are deterministic under a fixed seed,
 and the harness surfaces everything the downstream tables consume."""
 
-import numpy as np
 import pytest
 
 from repro.eval.evaluator import BEST_VARIANT, run_best_variant, run_system

@@ -1,7 +1,5 @@
 """Tests for the table-rendering helpers the benches print."""
 
-import pytest
-
 from repro.eval import PRF, format_table, markdown_table, results_table
 
 

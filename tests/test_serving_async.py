@@ -1,0 +1,398 @@
+"""Tests for deadline-aware async serving and KB sharding.
+
+The deadline scheduler's policy (:class:`DeadlineBatcher`) is exercised
+with a fake clock — no wall-clock sleeps live in this module.  The shard
+equivalence property (sequential == 1-shard == N-shard predictions on a
+seeded dataset) and the async service's end-to-end contract run against
+a tiny trained pipeline.
+"""
+
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+from repro.graph.batch import batch_graphs
+from repro.serving import (
+    AsyncLinkingService,
+    DeadlineBatcher,
+    LinkingService,
+    QueuedRequest,
+    ServiceConfig,
+    ShardedKB,
+)
+
+SCALE = 0.2
+DEADLINE_S = 0.05
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NCBI", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def pipeline(dataset):
+    pipe = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant="graphsage", num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=2, patience=5, seed=0),
+    )
+    pipe.fit(dataset.train, dataset.val, dataset.test)
+    return pipe
+
+
+@pytest.fixture(scope="module")
+def sequential(pipeline, dataset):
+    return [pipeline.disambiguate_snippet(s) for s in dataset.test]
+
+
+def request_at(now: float, payload=None) -> QueuedRequest:
+    return QueuedRequest(payload, enqueued_at=now, deadline_at=now + DEADLINE_S)
+
+
+def assert_predictions_match(expected, actual, atol=1e-4):
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert a.mention == b.mention
+        assert a.ranked_entities == b.ranked_entities
+        assert np.allclose(a.scores, b.scores, atol=atol)
+
+
+class TestDeadlineBatcher:
+    """Fake-clock unit tests of the flush policy (no threads, no sleeps)."""
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            DeadlineBatcher(0, 1.0)
+        with pytest.raises(ValueError):
+            DeadlineBatcher(4, -1.0)
+
+    def test_idle_queue_never_flushes(self):
+        batcher = DeadlineBatcher(4, DEADLINE_S)
+        assert batcher.poll(now=1e9) == []
+        assert batcher.seconds_until_flush(now=1e9) is None
+        assert batcher.next_deadline() is None
+
+    def test_full_batch_flushes_immediately(self):
+        batcher = DeadlineBatcher(4, DEADLINE_S)
+        for i in range(4):
+            batcher.add(request_at(0.0, payload=i))
+        assert batcher.seconds_until_flush(now=0.0) == 0.0
+        batch = batcher.poll(now=0.0)  # no deadline has passed
+        assert [r.snippet for r in batch] == [0, 1, 2, 3]
+        assert len(batcher) == 0
+
+    def test_partial_batch_waits_for_deadline(self):
+        batcher = DeadlineBatcher(4, DEADLINE_S)
+        batcher.add(request_at(0.0, payload="a"))
+        batcher.add(request_at(0.01, payload="b"))
+        assert batcher.poll(now=0.02) == []  # oldest budget not blown yet
+        assert batcher.seconds_until_flush(now=0.02) == pytest.approx(0.03)
+        batch = batcher.poll(now=DEADLINE_S)  # oldest deadline reached
+        assert [r.snippet for r in batch] == ["a", "b"]
+
+    def test_oldest_request_drives_the_deadline(self):
+        batcher = DeadlineBatcher(4, DEADLINE_S)
+        batcher.add(request_at(0.0))
+        batcher.add(request_at(1.0))
+        assert batcher.next_deadline() == pytest.approx(DEADLINE_S)
+        # Flushing at the oldest deadline takes the young request along.
+        assert len(batcher.poll(now=DEADLINE_S)) == 2
+
+    def test_deadline_flush_caps_at_max_batch_size(self):
+        batcher = DeadlineBatcher(2, DEADLINE_S)
+        for i in range(5):
+            batcher.add(request_at(0.0, payload=i))
+        first = batcher.poll(now=DEADLINE_S)
+        assert [r.snippet for r in first] == [0, 1]  # FIFO, capped
+        assert len(batcher) == 3
+
+    def test_no_fixed_size_stall_at_low_traffic(self):
+        # One lonely request must still be served once its budget is up —
+        # the scheduler never waits for a full batch.
+        batcher = DeadlineBatcher(32, DEADLINE_S)
+        batcher.add(request_at(0.0, payload="lonely"))
+        assert batcher.poll(now=0.049) == []
+        assert [r.snippet for r in batcher.poll(now=0.051)] == ["lonely"]
+
+    def test_drain_ignores_deadlines(self):
+        batcher = DeadlineBatcher(4, DEADLINE_S)
+        batcher.add(request_at(0.0))
+        assert len(batcher.drain()) == 1
+        assert batcher.drain() == []
+
+
+class TestShardedKB:
+    def test_partition_covers_kb(self, pipeline, dataset):
+        sharded = ShardedKB(pipeline, 3)
+        ids = np.sort(np.concatenate([s.node_ids for s in sharded.shards]))
+        assert np.array_equal(ids, np.arange(dataset.kb.num_nodes))
+        for shard in sharded.shards:
+            assert np.all(shard.node_ids % 3 == shard.index)
+            assert shard.view.num_nodes == len(shard.node_ids)
+            assert shard.h_ref.shape[0] == shard.x_ref.shape[0] == len(shard.node_ids)
+        sharded.close()
+
+    def test_routing_arithmetic(self, pipeline):
+        sharded = ShardedKB(pipeline, 3)
+        for cand in (0, 1, 5, 17):
+            owner = sharded.shard_of(cand)
+            local = sharded.local_id(cand)
+            assert sharded.shards[owner].node_ids[local] == cand
+        sharded.close()
+
+    def test_views_reassemble_via_splice(self, pipeline, dataset):
+        # Shard views are subgraph extractions; batch_graphs splices them
+        # back into one disjoint union covering every KB node and all
+        # shard-internal edges.
+        sharded = ShardedKB(pipeline, 4)
+        union, offsets = batch_graphs([s.view for s in sharded.shards])
+        assert union.num_nodes == dataset.kb.num_nodes
+        assert offsets == list(np.cumsum([0] + [s.view.num_nodes for s in sharded.shards[:-1]]))
+        names = {union.node_name(offsets[i] + j)
+                 for i, s in enumerate(sharded.shards) for j in range(s.view.num_nodes)}
+        assert names == set(dataset.kb.node_names)
+        sharded.close()
+
+    def test_subgraph_keeps_internal_edges_only(self, dataset):
+        kb = dataset.kb
+        ids = np.arange(0, kb.num_nodes, 2)
+        view = kb.subgraph(ids)
+        src, dst, et = kb.edges()
+        internal = np.sum(np.isin(src, ids) & np.isin(dst, ids))
+        assert view.num_edges == internal
+        for local, global_id in enumerate(ids[:10]):
+            assert view.node_name(int(local)) == kb.node_name(int(global_id))
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_scores_identical_to_unsharded(self, pipeline, dataset, num_shards):
+        # The shard-equivalence property: per-pair scoring makes any
+        # partition merge back to the exact unsharded score vector.
+        sharded = ShardedKB(pipeline, num_shards)
+        for snippet in dataset.test[:4]:
+            qg = pipeline.build_query_graph_for(snippet)
+            candidates = pipeline.candidate_ids(
+                qg.mention_surface, category=snippet.ambiguous_mention.category
+            )
+            expected = pipeline.score_candidates(qg, candidates)
+            assert np.array_equal(expected, sharded.score_candidates(qg, candidates))
+        sharded.close()
+
+    def test_score_candidates_ref_override(self, pipeline, dataset):
+        # A shard scored through the staged pipeline API (local ids +
+        # shard-local ref rows) matches the full-KB call.
+        sharded = ShardedKB(pipeline, 2)
+        shard = sharded.shards[1]
+        qg = pipeline.build_query_graph_for(dataset.test[0])
+        some_globals = shard.node_ids[:5]
+        expected = pipeline.score_candidates(qg, some_globals)
+        local = some_globals // 2
+        actual = pipeline.score_candidates(
+            qg, local, ref_embeddings=shard.h_ref, ref_features=shard.x_ref
+        )
+        assert np.array_equal(expected, actual)
+        with pytest.raises(ValueError):
+            pipeline.score_candidates(qg, local, ref_embeddings=shard.h_ref)
+        sharded.close()
+
+    def test_distribute_refreshes_embeddings(self, pipeline):
+        sharded = ShardedKB(pipeline, 2)
+        fresh = pipeline.ref_embeddings() + 1.0
+        sharded.distribute(fresh)
+        for shard in sharded.shards:
+            assert np.array_equal(shard.h_ref, fresh[shard.node_ids])
+        with pytest.raises(ValueError):
+            sharded.distribute(fresh[:-1])
+        sharded.close()
+
+    def test_invalid_shard_count_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            ShardedKB(pipeline, 0)
+        with pytest.raises(ValueError):
+            ServiceConfig(num_shards=0)
+
+
+class TestShardedService:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_sequential_one_shard_n_shard_identical(
+        self, pipeline, dataset, sequential, num_shards
+    ):
+        service = LinkingService(
+            pipeline,
+            ServiceConfig(max_batch_size=8, cache_size=0, num_shards=num_shards),
+        )
+        try:
+            predictions = service.link_batch(dataset.test)
+            assert_predictions_match(sequential, predictions)
+            if num_shards > 1:
+                assert service.sharded is not None
+                assert service.sharded.num_shards == num_shards
+            else:
+                assert service.sharded is None
+        finally:
+            service.close()
+
+    def test_sharded_matches_unsharded_bitwise(self, pipeline, dataset):
+        unsharded = LinkingService(
+            pipeline, ServiceConfig(max_batch_size=8, cache_size=0)
+        )
+        sharded = LinkingService(
+            pipeline, ServiceConfig(max_batch_size=8, cache_size=0, num_shards=3)
+        )
+        try:
+            for a, b in zip(
+                unsharded.link_batch(dataset.test), sharded.link_batch(dataset.test)
+            ):
+                assert a.ranked_entities == b.ranked_entities
+                assert a.scores == b.scores  # exact, not allclose
+        finally:
+            unsharded.close()
+            sharded.close()
+
+    def test_weight_refresh_redistributes(self, pipeline, dataset):
+        service = LinkingService(
+            pipeline, ServiceConfig(cache_size=16, num_shards=2)
+        )
+        try:
+            service.link_batch(dataset.test[:2])
+            backend = service.sharded
+            param = pipeline.model.parameters()[0]
+            original = param.data.copy()
+            try:
+                param.data = param.data + 0.125
+                assert service.refresh() is True
+                # Same ShardedKB object (views reused), fresh embeddings.
+                assert service.sharded is backend
+                expected = pipeline.ref_embeddings()
+                for shard in backend.shards:
+                    assert np.array_equal(shard.h_ref, expected[shard.node_ids])
+                assert_predictions_match(
+                    [pipeline.disambiguate_snippet(s) for s in dataset.test[:2]],
+                    service.link_batch(dataset.test[:2]),
+                )
+            finally:
+                param.data = original
+                pipeline.invalidate_ref_cache()
+        finally:
+            service.close()
+
+
+class TestAsyncLinkingService:
+    def test_link_batch_matches_sequential(self, pipeline, dataset, sequential):
+        with AsyncLinkingService(
+            pipeline,
+            ServiceConfig(max_batch_size=8, cache_size=0),
+            deadline_ms=20.0,
+        ) as service:
+            assert_predictions_match(sequential, service.link_batch(dataset.test))
+
+    def test_sharded_async_matches_sequential(self, pipeline, dataset, sequential):
+        inner = LinkingService(
+            pipeline, ServiceConfig(max_batch_size=8, cache_size=0, num_shards=2)
+        )
+        with AsyncLinkingService(inner, deadline_ms=20.0) as service:
+            assert_predictions_match(sequential, service.link_batch(dataset.test))
+
+    def test_submit_returns_future(self, pipeline, dataset):
+        with AsyncLinkingService(pipeline, deadline_ms=10.0) as service:
+            future = service.submit(dataset.test[0])
+            assert isinstance(future, Future)
+            prediction = future.result(timeout=30.0)
+            expected = pipeline.disambiguate_snippet(dataset.test[0])
+            assert prediction.ranked_entities == expected.ranked_entities
+
+    def test_latency_stats_recorded(self, pipeline, dataset):
+        with AsyncLinkingService(pipeline, deadline_ms=10.0) as service:
+            service.link_batch(dataset.test[:5])
+            stats = service.stats
+            assert len(stats.latencies_ms) == 5
+            assert len(stats.queue_waits_ms) == 5
+            assert stats.latency_percentile(95) >= stats.latency_percentile(50) > 0
+            payload = stats.to_dict()
+            assert {"latency_p50_ms", "latency_p95_ms", "queue_wait_p95_ms"} <= set(payload)
+            stats.reset()
+            assert len(stats.latencies_ms) == 0
+            assert stats.to_dict().get("latency_p50_ms") is None
+
+    def test_link_stream_preserves_order(self, pipeline, dataset, sequential):
+        with AsyncLinkingService(
+            pipeline,
+            ServiceConfig(max_batch_size=4, cache_size=0),
+            deadline_ms=10.0,
+        ) as service:
+            streamed = list(service.link_stream(iter(dataset.test)))
+        assert_predictions_match(sequential, streamed)
+
+    def test_submit_after_close_raises(self, pipeline, dataset):
+        service = AsyncLinkingService(pipeline, deadline_ms=10.0)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(dataset.test[0])
+        service.close()  # idempotent
+
+    def test_close_drains_pending(self, pipeline, dataset):
+        # A deadline much longer than the test: close() must still flush
+        # the queued requests instead of abandoning their futures.
+        service = AsyncLinkingService(pipeline, deadline_ms=60_000.0)
+        futures = [service.submit(s) for s in dataset.test[:3]]
+        service.close()
+        for future, snippet in zip(futures, dataset.test[:3]):
+            expected = pipeline.disambiguate_snippet(snippet)
+            assert future.result(timeout=1.0).ranked_entities == expected.ranked_entities
+
+    def test_rejects_config_with_prebuilt_service(self, pipeline):
+        inner = LinkingService(pipeline, ServiceConfig(cache_size=0))
+        with pytest.raises(ValueError):
+            AsyncLinkingService(inner, ServiceConfig())
+        inner.close()
+
+    def test_cancelled_future_is_skipped(self, pipeline, dataset):
+        # Cancelling a queued future must not kill the worker: the rest
+        # of the batch still resolves.
+        service = AsyncLinkingService(pipeline, deadline_ms=60_000.0)
+        first = service.submit(dataset.test[0])
+        second = service.submit(dataset.test[1])
+        assert first.cancel()
+        service.close()  # drains the queue through the worker
+        assert first.cancelled()
+        expected = pipeline.disambiguate_snippet(dataset.test[1])
+        assert second.result(timeout=1.0).ranked_entities == expected.ranked_entities
+
+    def test_no_grad_is_thread_local(self):
+        # Shard workers toggle inference mode concurrently; one thread's
+        # no_grad must neither leak into nor be clobbered by another's.
+        import threading
+
+        from repro.autograd import is_grad_enabled, no_grad
+
+        seen = {}
+
+        def worker():
+            seen["before"] = is_grad_enabled()
+            with no_grad():
+                seen["inside"] = is_grad_enabled()
+
+        with no_grad():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert is_grad_enabled() is False
+        assert seen == {"before": True, "inside": False}
+        assert is_grad_enabled() is True
+
+    def test_failing_batch_propagates_exception(self, pipeline, dataset, monkeypatch):
+        service = AsyncLinkingService(pipeline, deadline_ms=5.0)
+        try:
+            def boom(snippets, **kwargs):
+                raise RuntimeError("backend down")
+
+            monkeypatch.setattr(service.service, "link_batch", boom)
+            future = service.submit(dataset.test[0])
+            with pytest.raises(RuntimeError, match="backend down"):
+                future.result(timeout=30.0)
+        finally:
+            monkeypatch.undo()
+            service.close()

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import HeteroGraph, InvertedIndex, medical_schema
+from repro.graph import HeteroGraph, medical_schema
 from repro.text import (
     DictionaryNER,
     HashingNgramEmbedder,
