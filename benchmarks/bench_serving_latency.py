@@ -29,9 +29,10 @@ import sys
 import time
 
 from _shared import SERVING_DEADLINE_JITTER_MS, update_bench_report
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
-from repro.serving import AsyncLinkingService, LinkingService, ServiceConfig
+from repro.serving import AsyncLinkingService
 
 
 def run(args: argparse.Namespace) -> int:
@@ -40,12 +41,15 @@ def run(args: argparse.Namespace) -> int:
     requests = 64 if args.smoke else args.requests
 
     dataset = load_dataset("NCBI", scale=scale)
-    pipeline = EDPipeline(
+    linker = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant=args.variant, num_layers=2, seed=0),
+            train=TrainConfig(epochs=epochs, patience=max(5, epochs // 2), seed=0),
+        ),
         dataset.kb,
-        model_config=ModelConfig(variant=args.variant, num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=epochs, patience=max(5, epochs // 2), seed=0),
     )
-    pipeline.fit(dataset.train, dataset.val, dataset.test)
+    linker.fit(dataset.train, dataset.val, dataset.test)
+    pipeline = linker.pipeline  # the sequential baseline drives the raw engine
     stream = (dataset.test * ((requests // len(dataset.test)) + 1))[:requests]
     print(
         f"KB {dataset.kb.num_nodes} nodes / {dataset.kb.num_edges} edges, "
@@ -58,9 +62,7 @@ def run(args: argparse.Namespace) -> int:
 
     # Sync capacity: one big batched call (result cache off so both paths
     # pay the same compute).
-    sync_service = LinkingService(
-        pipeline, ServiceConfig(max_batch_size=args.batch_size, cache_size=0)
-    )
+    sync_service = linker.serve(max_batch_size=args.batch_size, cache_size=0)
     t0 = time.perf_counter()
     sync_service.link_batch(stream, top_k=args.top_k)
     t_sync = time.perf_counter() - t0
@@ -68,14 +70,11 @@ def run(args: argparse.Namespace) -> int:
 
     # Async replay, arrivals paced at ~half capacity.
     inter_arrival = 2.0 / capacity if capacity > 0 else 0.0
-    service = LinkingService(
-        pipeline,
-        ServiceConfig(
-            max_batch_size=args.batch_size,
-            cache_size=0,
-            top_k=args.top_k,
-            num_shards=args.shards,
-        ),
+    service = linker.serve(
+        max_batch_size=args.batch_size,
+        cache_size=0,
+        top_k=args.top_k,
+        shards=args.shards,
     )
     with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
         t0 = time.perf_counter()

@@ -26,9 +26,9 @@ import sys
 import time
 
 from _shared import serving_speedup_floor, update_bench_report
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
-from repro.serving import LinkingService, ServiceConfig
 
 
 def run(args: argparse.Namespace) -> int:
@@ -37,12 +37,15 @@ def run(args: argparse.Namespace) -> int:
     requests = 64 if args.smoke else args.requests
 
     dataset = load_dataset("NCBI", scale=scale)
-    pipeline = EDPipeline(
+    linker = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant=args.variant, num_layers=2, seed=0),
+            train=TrainConfig(epochs=epochs, patience=max(5, epochs // 2), seed=0),
+        ),
         dataset.kb,
-        model_config=ModelConfig(variant=args.variant, num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=epochs, patience=max(5, epochs // 2), seed=0),
     )
-    pipeline.fit(dataset.train, dataset.val, dataset.test)
+    linker.fit(dataset.train, dataset.val, dataset.test)
+    pipeline = linker.pipeline  # the sequential baseline drives the raw engine
     stream = (dataset.test * ((requests // len(dataset.test)) + 1))[:requests]
     print(
         f"KB {dataset.kb.num_nodes} nodes / {dataset.kb.num_edges} edges, "
@@ -54,16 +57,12 @@ def run(args: argparse.Namespace) -> int:
     sequential = [pipeline.disambiguate_snippet(s, top_k=args.top_k) for s in stream]
     t_seq = time.perf_counter() - t0
 
-    service = LinkingService(
-        pipeline, ServiceConfig(max_batch_size=args.batch_size, cache_size=0)
-    )
+    service = linker.serve(max_batch_size=args.batch_size, cache_size=0)
     t0 = time.perf_counter()
     batched = service.link_batch(stream, top_k=args.top_k)
     t_batch = time.perf_counter() - t0
 
-    cached_service = LinkingService(
-        pipeline, ServiceConfig(max_batch_size=args.batch_size, cache_size=4096)
-    )
+    cached_service = linker.serve(max_batch_size=args.batch_size, cache_size=4096)
     cached_service.link_batch(stream, top_k=args.top_k)  # cold pass fills the LRU
     t0 = time.perf_counter()
     cached_service.link_batch(stream, top_k=args.top_k)

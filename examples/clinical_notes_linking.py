@@ -12,7 +12,8 @@ Run:  python examples/clinical_notes_linking.py
 
 import numpy as np
 
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 from repro.eval import hits_at_k, mean_reciprocal_rank
 
@@ -23,10 +24,12 @@ def main() -> None:
     print(f"ShARe analogue: {kb.num_nodes} entities / {kb.num_edges} edges, "
           f"{len(dataset.snippets)} annotated notes")
 
-    pipeline = EDPipeline(
+    pipeline = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant="magnn", num_layers=2, seed=0),
+            train=TrainConfig(epochs=30, patience=12, seed=0),
+        ),
         kb,
-        model_config=ModelConfig(variant="magnn", num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=30, patience=12, seed=0),
     )
     result = pipeline.fit(dataset.train, dataset.val, dataset.test)
     print(f"Pair-classification test metrics: {result.test}")

@@ -16,7 +16,8 @@ abbreviate to "ARF".  Run:  python examples/custom_kb.py
 
 import numpy as np
 
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.graph import HeteroGraph, medical_schema
 from repro.text import MentionAnnotation, Snippet, mint_cui
 
@@ -129,10 +130,12 @@ def main() -> None:
     print(f"Corpus: {n} snippets (train {len(train)} / val {len(val)} / test {len(test)})")
 
     # R-GCN: the KB is small but typed; relation-aware aggregation matters.
-    pipeline = EDPipeline(
+    pipeline = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant="rgcn", num_layers=2, seed=0),
+            train=TrainConfig(epochs=60, patience=20, negatives_per_positive=2, seed=0),
+        ),
         kb,
-        model_config=ModelConfig(variant="rgcn", num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=60, patience=20, negatives_per_positive=2, seed=0),
     )
     result = pipeline.fit(train, val, test)
     print(f"\nTest metrics: {result.test}")

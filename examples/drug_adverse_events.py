@@ -12,7 +12,8 @@ Run:  python examples/drug_adverse_events.py
 
 import numpy as np
 
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.graph import HeteroGraph, medical_schema
 from repro.text import MentionAnnotation, Snippet, mint_cui
 
@@ -110,12 +111,14 @@ def main() -> None:
     rng.shuffle(snippets)
     train, val, test = snippets[:6], snippets[6:8], snippets[8:]
 
-    pipeline = EDPipeline(
-        kb,
-        model_config=ModelConfig(
-            variant="rgcn", feature_dim=64, hidden_dim=64, num_layers=2, dropout=0.2, seed=0
+    pipeline = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(
+                variant="rgcn", feature_dim=64, hidden_dim=64, num_layers=2, dropout=0.2, seed=0
+            ),
+            train=TrainConfig(epochs=60, patience=60, negatives_per_positive=3, seed=0),
         ),
-        train_config=TrainConfig(epochs=60, patience=60, negatives_per_positive=3, seed=0),
+        kb,
     )
     result = pipeline.fit(train, val, test)
     print(f"Trained on {len(train)} ARF snippets; test {result.test}")

@@ -10,7 +10,8 @@ metrics.  Run:  python examples/encoder_zoo.py
 
 import time
 
-from repro.core import VARIANTS, EDPipeline, ModelConfig, TrainConfig
+from repro.api import ENCODERS, Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 from repro.eval import format_table
 
@@ -23,12 +24,16 @@ def main() -> None:
     )
 
     rows = []
-    for variant in VARIANTS:
+    # Every registered encoder — including any added via
+    # repro.api.register_encoder — trains under identical settings.
+    for variant in ENCODERS.names():
         start = time.perf_counter()
-        pipeline = EDPipeline(
+        pipeline = Linker.from_config(
+            LinkerConfig(
+                model=ModelConfig(variant=variant, num_layers=2, seed=0),
+                train=TrainConfig(epochs=25, patience=10, seed=0),
+            ),
             dataset.kb.copy() if dataset.kb.features is None else dataset.kb,
-            model_config=ModelConfig(variant=variant, num_layers=2, seed=0),
-            train_config=TrainConfig(epochs=25, patience=10, seed=0),
         )
         result = pipeline.fit(dataset.train, dataset.val, dataset.test)
         elapsed = time.perf_counter() - start

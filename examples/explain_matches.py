@@ -8,17 +8,20 @@ the evidence a medical editor would review before accepting a link.
 Run:  python examples/explain_matches.py
 """
 
-from repro.core import EDPipeline, GNNExplainer, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import GNNExplainer, ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 
 
 def main() -> None:
     dataset = load_dataset("BioCDR", scale=0.2)
     kb = dataset.kb
-    pipeline = EDPipeline(
+    pipeline = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant="rgcn", num_layers=2, seed=0),
+            train=TrainConfig(epochs=40, patience=15, seed=0),
+        ),
         kb,
-        model_config=ModelConfig(variant="rgcn", num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=40, patience=15, seed=0),
     )
     result = pipeline.fit(dataset.train, dataset.val, dataset.test)
     print(f"Trained ED-GNN (R-GCN) on BioCDR analogue: test {result.test}\n")

@@ -10,7 +10,8 @@ against the two colliding expansions ("acute renal failure" vs "acute
 respiratory failure").  Run:  python examples/quickstart.py
 """
 
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
 
 
@@ -22,19 +23,22 @@ def main() -> None:
     print(f"Snippets: {len(dataset.snippets)} "
           f"(train {len(dataset.train)} / val {len(dataset.val)} / test {len(dataset.test)})")
 
-    # 2. Train ED-GNN (GraphSAGE variant; both optimisations on).
-    pipeline = EDPipeline(
+    # 2. Train ED-GNN (GraphSAGE variant; both optimisations on) through
+    #    the declarative facade — one config, one front door.
+    linker = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(variant="graphsage", num_layers=2, seed=0),
+            train=TrainConfig(epochs=40, patience=15, seed=0),
+        ),
         kb,
-        model_config=ModelConfig(variant="graphsage", num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=40, patience=15, seed=0),
     )
-    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    result = linker.fit(dataset.train, dataset.val, dataset.test)
     print(f"\nTest metrics after training: {result.test}")
     print(f"Best epoch: {result.best_epoch}")
 
     # 3. Disambiguate a raw text snippet end to end.
     snippet = dataset.test[0]
-    prediction = pipeline.disambiguate_snippet(snippet, top_k=3, restrict_to_candidates=False)
+    prediction = linker.disambiguate_snippet(snippet, top_k=3, restrict_to_candidates=False)
     gold = int(snippet.ambiguous_mention.link_id[1:])
     print(f"\nSnippet : {snippet.text!r}")
     print(f"Mention : {prediction.mention!r}")

@@ -1,42 +1,48 @@
-"""Serving quickstart: batch-link a stream of snippets with LinkingService.
+"""Serving quickstart: one Linker, every serving frontend.
 
-Trains a small ED-GNN pipeline, wraps it in the batched
-:class:`repro.serving.LinkingService`, links the test split in one call,
-replays it to show the LRU result cache, then serves the same stream
-through the deadline-aware :class:`repro.serving.AsyncLinkingService`
-with KB sharding on and prints latency percentiles alongside the
-service stats.
+Builds a small ED-GNN from a declarative :class:`repro.api.LinkerConfig`
+(the service section included), trains it, links the test split through
+the batched :class:`repro.serving.LinkingService`, replays it to show
+the LRU result cache, saves a self-describing checkpoint, then serves
+the same stream through the deadline-aware
+:class:`repro.serving.AsyncLinkingService` with KB sharding on and
+prints latency percentiles alongside the service stats.
 
 The same paths are reachable from the CLI:
 
+    repro config dump --variant graphsage > linker.json
     repro serve --checkpoint CKPT --async --shards 2 --deadline-ms 25
     cat snippets.jsonl | repro serve --checkpoint CKPT --input - --async
 
 Run:  PYTHONPATH=src python examples/serving_quickstart.py
 """
 
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+import tempfile
+
+from repro.api import Linker, LinkerConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
-from repro.serving import AsyncLinkingService, LinkingService, ServiceConfig
+from repro.serving import ServiceConfig
 
 
 def main() -> None:
-    # 1. Train a small pipeline (same setup as examples/quickstart.py).
-    dataset = load_dataset("NCBI", scale=0.3)
-    pipeline = EDPipeline(
-        dataset.kb,
-        model_config=ModelConfig(variant="graphsage", num_layers=2, seed=0),
-        train_config=TrainConfig(epochs=20, patience=10, seed=0),
+    # 1. One declarative config describes the whole linker — model,
+    #    training, serving knobs, and the named pipeline components.
+    config = LinkerConfig(
+        model=ModelConfig(variant="graphsage", num_layers=2, seed=0),
+        train=TrainConfig(epochs=20, patience=10, seed=0),
+        service=ServiceConfig(max_batch_size=32, cache_size=1024, top_k=3),
+        candidate_generator="exact",  # or "fuzzy" for typo-tolerant retrieval
     )
-    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    dataset = load_dataset("NCBI", scale=0.3)
+    linker = Linker.from_config(config, dataset.kb)
+    result = linker.fit(dataset.train, dataset.val, dataset.test)
     print(f"trained: test F1 {result.test.f1:.3f} (best epoch {result.best_epoch})")
 
-    # 2. Wrap it in the serving layer.  KB embeddings are computed once
-    #    here and reused for every request.
-    service = LinkingService(
-        pipeline,
-        ServiceConfig(max_batch_size=32, cache_size=1024, top_k=3),
-    )
+    # 2. `serve()` hands out a ready LinkingService built from the
+    #    config's service section.  KB embeddings are computed once here
+    #    and reused for every request.
+    service = linker.serve()
 
     # 3. One batched call links the whole split.
     predictions = service.link_batch(dataset.test)
@@ -50,7 +56,7 @@ def main() -> None:
         print(f"\n  {snippet.text!r}")
         print(f"  mention {prediction.mention!r}:")
         for entity, score in zip(prediction.ranked_entities, prediction.scores):
-            print(f"    {score:7.3f}  {pipeline.entity_name(entity)}")
+            print(f"    {score:7.3f}  {linker.entity_name(entity)}")
 
     # 4. Replay the stream: every mention now hits the result cache.
     service.link_batch(dataset.test)
@@ -62,21 +68,30 @@ def main() -> None:
     ]
     for prediction in service.link_texts(texts):
         print(f"\nfree text mention {prediction.mention!r} -> "
-              f"{pipeline.entity_name(prediction.top())!r}")
+              f"{linker.entity_name(prediction.top())!r}")
 
     print()
     print(service.stats.format())
 
-    # 6. Async serving: requests go onto a queue; micro-batches form when
+    # 6. Checkpoints are self-describing: the directory carries the full
+    #    LinkerConfig (linker.json), so load needs nothing else —
+    #    predictions are bit-identical to the in-memory linker.
+    with tempfile.TemporaryDirectory() as ckpt:
+        linker.save(ckpt)
+        reloaded = Linker.load(ckpt)
+        replayed = reloaded.serve(cache_size=0).link_batch(dataset.test[:8])
+        assert [p.ranked_entities for p in replayed] == [
+            p.ranked_entities for p in predictions[:8]
+        ]
+        print(f"\ncheckpoint round-trip OK ({ckpt} while it lasted)")
+
+    # 7. Async serving: requests go onto a queue; micro-batches form when
     #    full OR when the oldest request's deadline budget is up, so a
     #    trickle of traffic is never stalled behind a fixed batch size.
-    #    num_shards=2 partitions the KB (and its embedding cache) and
-    #    fans candidate scoring out to shard workers — predictions stay
+    #    shards=2 partitions the KB (and its embedding cache) and fans
+    #    candidate scoring out to shard workers — predictions stay
     #    identical to the sequential pipeline either way.
-    async_config = ServiceConfig(max_batch_size=32, cache_size=0, top_k=3, num_shards=2)
-    with AsyncLinkingService(
-        LinkingService(pipeline, async_config), deadline_ms=25.0
-    ) as async_service:
+    with linker.serve(async_=True, shards=2, deadline_ms=25.0, cache_size=0) as async_service:
         futures = [async_service.submit(snippet) for snippet in dataset.test]
         async_predictions = [f.result() for f in futures]
         assert [p.ranked_entities for p in async_predictions] == [

@@ -10,8 +10,9 @@ import time
 
 import numpy as np
 
+from repro.api import Linker, LinkerConfig
 from repro.baselines import BASELINES
-from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.core import ModelConfig, TrainConfig
 from repro.datasets import DATASET_NAMES, load_dataset
 
 EPOCHS = int(os.environ.get("REPRO_EPOCHS", "100"))
@@ -26,10 +27,12 @@ for ds_name in datasets:
             res = model.fit(ds.train, ds.val, ds.test)
             test = res.test
         else:
-            pipe = EDPipeline(
+            pipe = Linker.from_config(
+                LinkerConfig(
+                    model=ModelConfig(variant=system, num_layers=3 if ds_name != "NCBI" else 2, seed=0),
+                    train=TrainConfig(epochs=EPOCHS, patience=30),
+                ),
                 ds.kb,
-                model_config=ModelConfig(variant=system, num_layers=3 if ds_name != "NCBI" else 2, seed=0),
-                train_config=TrainConfig(epochs=EPOCHS, patience=30),
             )
             res = pipe.fit(ds.train, ds.val, ds.test)
             test = res.test

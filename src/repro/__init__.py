@@ -3,13 +3,19 @@
 Full reproduction of Vretinaris et al., SIGMOD 2021 (see README.md and
 DESIGN.md).  Public entry points:
 
-* repro.core.EDPipeline — text snippet -> ranked KB entities;
+* repro.api.Linker — the facade: config-driven construction, training,
+  self-describing checkpoints, and serving frontends;
+* repro.api.LinkerConfig — the declarative construction config;
 * repro.datasets.load_dataset — the five synthetic datasets of Table 2;
 * repro.eval.run_system — one Table 3 cell (train + test);
 * repro.core.GNNExplainer — Figure 4(a) explanations.
+
+``repro.core.EDPipeline`` remains the internal engine behind the facade.
 """
 
 from . import analysis, autograd, baselines, core, datasets, eval, gnn, graph, text  # noqa: F401
+from . import api, serving  # noqa: F401
+from .api import Linker, LinkerConfig  # noqa: F401
 from .core import EDGNN, EDPipeline, GNNExplainer, ModelConfig, TrainConfig  # noqa: F401
 from .datasets import load_dataset  # noqa: F401
 
@@ -17,7 +23,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "autograd", "graph", "text", "gnn", "core", "baselines", "datasets", "eval",
-    "analysis",
+    "analysis", "api", "serving",
+    "Linker", "LinkerConfig",
     "EDPipeline", "EDGNN", "ModelConfig", "TrainConfig", "GNNExplainer",
     "load_dataset", "__version__",
 ]

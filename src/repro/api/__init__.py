@@ -1,0 +1,50 @@
+"""The public API: one front door for construction, training, and serving.
+
+* :class:`Linker` — the facade: ``from_config`` / ``fit`` / ``save`` /
+  ``load`` / ``serve``;
+* :class:`LinkerConfig` — frozen, schema-versioned declarative config
+  with an exact JSON round-trip;
+* the component registries (:data:`CANDIDATE_GENERATORS`, :data:`NERS`,
+  :data:`EMBEDDERS`, :data:`ENCODERS`) and their ``register_*``
+  decorators, so new generators/recognisers/embedders/GNN variants are a
+  registry entry instead of a constructor edit.
+
+See ``repro config dump`` for a starting config and
+``examples/serving_quickstart.py`` for the end-to-end flow.
+"""
+
+from .config import CONFIG_SCHEMA_VERSION, LinkerConfig  # noqa: F401
+from .linker import LINKER_CONFIG_FILE, Linker  # noqa: F401
+from .registry import (  # noqa: F401
+    CANDIDATE_GENERATORS,
+    EMBEDDERS,
+    ENCODERS,
+    NERS,
+    CandidateGeneratorProtocol,
+    MentionExtractorProtocol,
+    Registry,
+    TextEmbedderProtocol,
+    register_candidate_generator,
+    register_embedder,
+    register_encoder,
+    register_ner,
+)
+
+__all__ = [
+    "Linker",
+    "LinkerConfig",
+    "CONFIG_SCHEMA_VERSION",
+    "LINKER_CONFIG_FILE",
+    "Registry",
+    "CANDIDATE_GENERATORS",
+    "NERS",
+    "EMBEDDERS",
+    "ENCODERS",
+    "register_candidate_generator",
+    "register_ner",
+    "register_embedder",
+    "register_encoder",
+    "CandidateGeneratorProtocol",
+    "MentionExtractorProtocol",
+    "TextEmbedderProtocol",
+]

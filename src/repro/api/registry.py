@@ -1,0 +1,162 @@
+"""Typed component registries behind the :class:`~repro.api.Linker` facade.
+
+The ED-GNN architecture is explicitly modular — candidate generation,
+NER, the text embedder, and the GNN encoder are independent stages — so
+each stage is a *named* plugin here rather than a constructor flag:
+
+* :data:`CANDIDATE_GENERATORS` — ``"exact"`` (Section 3.1 inverted-index
+  lookup) and ``"fuzzy"`` (approximate lexical retrieval on index
+  misses);
+* :data:`NERS` — ``"dictionary"`` (the simulated-BioBERT greedy
+  longest-match recogniser);
+* :data:`EMBEDDERS` — ``"hashing-ngram"`` (the character-n-gram feature
+  hasher standing in for BERT initial features);
+* :data:`ENCODERS` — a registry *view* over the existing encoder table in
+  :mod:`repro.core.model` (GraphSAGE/GAT/RGCN/MAGNN/HAN/HetGNN/GCN), so
+  GNN variants registered either way are visible to both
+  :class:`~repro.core.model.ModelConfig` and the facade.
+
+Each registry stores a factory with a uniform construction signature
+(documented per registry); a :class:`~repro.api.LinkerConfig` names the
+component and carries its kwargs, and ``Linker.from_config`` wires the
+pieces together.  Registering a duplicate name raises ``ValueError``;
+looking up an unknown name raises ``KeyError`` listing the options.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.candidates import ExactCandidateGenerator, FuzzyFallbackCandidateGenerator
+from ..core.model import ENCODER_BUILDERS, register_encoder
+from ..text.embedder import HashingNgramEmbedder
+from ..text.ner import DictionaryNER, Mention
+
+__all__ = [
+    "Registry",
+    "CANDIDATE_GENERATORS",
+    "NERS",
+    "EMBEDDERS",
+    "ENCODERS",
+    "register_candidate_generator",
+    "register_ner",
+    "register_embedder",
+    "register_encoder",
+    "CandidateGeneratorProtocol",
+    "MentionExtractorProtocol",
+    "TextEmbedderProtocol",
+]
+
+
+# ---------------------------------------------------------------------------
+# Component protocols (what a plugin must implement)
+# ---------------------------------------------------------------------------
+@runtime_checkable
+class CandidateGeneratorProtocol(Protocol):
+    """Candidate-generation stage: surface form -> KB node ids to rank."""
+
+    def candidates_for(
+        self,
+        surface: str,
+        category: Optional[str] = None,
+        restrict_to_candidates: bool = True,
+    ) -> np.ndarray: ...
+
+
+@runtime_checkable
+class MentionExtractorProtocol(Protocol):
+    """NER stage: raw text -> entity mentions with candidate links."""
+
+    def extract(self, text: str) -> List[Mention]: ...
+
+
+@runtime_checkable
+class TextEmbedderProtocol(Protocol):
+    """Initial-feature stage: string -> fixed-dimension vector."""
+
+    dim: int
+
+    def embed(self, text: str) -> np.ndarray: ...
+
+    def embed_batch(self, texts) -> np.ndarray: ...
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class Registry:
+    """A named table of component factories.
+
+    ``entries`` may be an existing dict to wrap (the encoder registry
+    shares :data:`repro.core.model.ENCODER_BUILDERS` so both views stay
+    in sync); by default each registry owns its own table.
+    """
+
+    def __init__(self, kind: str, entries: Optional[Dict[str, Callable]] = None):
+        self.kind = kind
+        self._entries: Dict[str, Callable] = entries if entries is not None else {}
+
+    def register(self, name: str, factory: Optional[Callable] = None) -> Callable:
+        """Register ``factory`` under ``name``; decorator or direct call.
+
+        Raises ``ValueError`` on a duplicate name — shadowing a component
+        silently is how two modules end up fighting over behaviour.
+        """
+
+        def _register(fn: Callable) -> Callable:
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered"
+                )
+            self._entries[name] = fn
+            return fn
+
+        return _register(factory) if factory is not None else _register
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; options: {self.names()}"
+            ) from None
+
+    def names(self) -> tuple:
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __getitem__(self, name: str) -> Callable:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._entries)})"
+
+
+#: factories called as ``factory(kb, index=..., embedder=..., **kwargs)``
+CANDIDATE_GENERATORS = Registry("candidate generator")
+#: factories called as ``factory(kb, index=..., **kwargs)``
+NERS = Registry("ner")
+#: factories called as ``factory(dim=..., **kwargs)``
+EMBEDDERS = Registry("embedder")
+#: builders called as ``builder(model_config, schema, common)`` — the
+#: same table :func:`repro.core.model.build_encoder` dispatches on.
+ENCODERS = Registry("encoder", entries=ENCODER_BUILDERS)
+
+register_candidate_generator = CANDIDATE_GENERATORS.register
+register_ner = NERS.register
+register_embedder = EMBEDDERS.register
+
+register_candidate_generator("exact", ExactCandidateGenerator)
+register_candidate_generator("fuzzy", FuzzyFallbackCandidateGenerator)
+register_ner("dictionary", DictionaryNER)
+register_embedder("hashing-ngram", HashingNgramEmbedder)

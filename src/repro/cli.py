@@ -17,10 +17,14 @@ package is installed with entry points):
   dataset split through :mod:`repro.serving`, with ``--stats`` telemetry;
 * ``repro explain``   — GNN-Explainer attribution for the top match of a
   mention (Figure 4a);
+* ``repro config``    — dump a declarative ``LinkerConfig`` JSON or
+  validate one (``repro config dump`` / ``repro config validate``);
 * ``repro reproduce`` — regenerate one of the paper's tables end to end.
 
 Every command honours ``REPRO_SCALE`` / ``REPRO_EPOCHS`` like the
-benchmark suite, and accepts explicit overrides.
+benchmark suite, and accepts explicit overrides.  All construction goes
+through :meth:`repro.api.Linker.from_config` — the CLI builds configs,
+never pipelines.
 """
 
 from __future__ import annotations
@@ -95,42 +99,45 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
-def _train_pipeline(args: argparse.Namespace):
-    """Shared by train/link/explain when a checkpoint must be built."""
-    from repro.core import EDPipeline, ModelConfig, TrainConfig
-    from repro.datasets import load_dataset
+def _linker_config(args: argparse.Namespace, dataset_name: Optional[str] = None):
+    """The declarative LinkerConfig the training flags describe — the one
+    construction path every subcommand shares."""
+    from repro.api import LinkerConfig
+    from repro.core import ModelConfig, TrainConfig
     from repro.eval.evaluator import BEST_LAYERS, BEST_VARIANT
 
-    dataset = load_dataset(args.dataset, scale=args.scale, use_cache=False)
-    variant = args.variant or BEST_VARIANT.get(args.dataset, "magnn")
-    layers = args.layers or BEST_LAYERS.get(args.dataset, 3)
+    dataset_name = dataset_name or getattr(args, "dataset", None)
+    variant = args.variant or BEST_VARIANT.get(dataset_name, "magnn")
+    layers = args.layers or BEST_LAYERS.get(dataset_name, 3)
     epochs = args.epochs or int(os.environ.get("REPRO_EPOCHS", "80"))
-    pipeline = EDPipeline(
-        dataset.kb,
-        model_config=ModelConfig(variant=variant, num_layers=layers, seed=args.seed),
-        train_config=TrainConfig(
+    return LinkerConfig(
+        model=ModelConfig(variant=variant, num_layers=layers, seed=args.seed),
+        train=TrainConfig(
             epochs=epochs,
             patience=max(10, epochs // 3),
             seed=args.seed,
             use_hard_negatives=not args.no_hard_negatives,
         ),
         augment_query_graphs=not args.no_augment,
+        candidate_generator="fuzzy" if getattr(args, "fuzzy", False) else "exact",
     )
-    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
-    return pipeline, result, variant
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import save_pipeline
+    from repro.api import Linker
+    from repro.datasets import load_dataset
 
-    pipeline, result, variant = _train_pipeline(args)
+    dataset = load_dataset(args.dataset, scale=args.scale, use_cache=False)
+    config = _linker_config(args)
+    linker = Linker.from_config(config, dataset.kb)
+    result = linker.fit(dataset.train, dataset.val, dataset.test)
     print(
-        f"ED-GNN({variant}) on {args.dataset}: "
+        f"ED-GNN({config.model.variant}) on {args.dataset}: "
         f"test P={result.test.precision:.3f} R={result.test.recall:.3f} "
         f"F1={result.test.f1:.3f} (best epoch {result.best_epoch})"
     )
     if args.out:
-        save_pipeline(pipeline, args.out)
+        linker.save(args.out)
         print(f"checkpoint saved -> {args.out}")
     return 0
 
@@ -168,42 +175,43 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _load_checkpoint(path: str):
-    from repro.core import load_pipeline
+    from repro.api import Linker
 
     if not os.path.isdir(path):
         raise SystemExit(f"checkpoint directory not found: {path}")
-    return load_pipeline(path)
+    return Linker.load(path)
+
+
+def _prediction_payload(linker, prediction) -> dict:
+    """The machine-readable shape shared by ``link`` and ``serve``."""
+    return {
+        "mention": prediction.mention,
+        "candidates": [
+            {
+                "entity_id": e,
+                "name": linker.entity_name(e),
+                "score": round(s, 4),
+            }
+            for e, s in zip(prediction.ranked_entities, prediction.scores)
+        ],
+    }
 
 
 def _cmd_link(args: argparse.Namespace) -> int:
-    pipeline = _load_checkpoint(args.checkpoint)
-    prediction = pipeline.disambiguate(args.text, args.mention, top_k=args.top_k)
+    linker = _load_checkpoint(args.checkpoint)
+    prediction = linker.disambiguate(args.text, args.mention, top_k=args.top_k)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "mention": prediction.mention,
-                    "candidates": [
-                        {
-                            "entity_id": e,
-                            "name": pipeline.entity_name(e),
-                            "score": round(s, 4),
-                        }
-                        for e, s in zip(prediction.ranked_entities, prediction.scores)
-                    ],
-                }
-            )
-        )
+        print(json.dumps(_prediction_payload(linker, prediction)))
         return 0
     print(f"mention: {prediction.mention!r}")
     for rank, (entity, score) in enumerate(
         zip(prediction.ranked_entities, prediction.scores), start=1
     ):
-        print(f"  {rank}. {pipeline.entity_name(entity)}  (score {score:.3f})")
+        print(f"  {rank}. {linker.entity_name(entity)}  (score {score:.3f})")
     return 0
 
 
-def _parse_snippet_line(pipeline, line: str, source: str):
+def _parse_snippet_line(linker, line: str, source: str):
     """One serve-input line: snippet JSONL if it parses, else raw text
     pushed through the (simulated) NER."""
     from repro.text.corpus import Snippet
@@ -215,12 +223,12 @@ def _parse_snippet_line(pipeline, line: str, source: str):
     if isinstance(payload, dict) and "Text" in payload:
         return Snippet.from_dict(payload)
     try:
-        return pipeline.snippet_from_text(line)
+        return linker.snippet_from_text(line)
     except ValueError as exc:
         raise SystemExit(f"{source}: {exc}: {line!r}") from None
 
 
-def _iter_snippet_lines(pipeline, lines, source: str, limit: Optional[int]):
+def _iter_snippet_lines(linker, lines, source: str, limit: Optional[int]):
     """Lazily parse non-empty input lines into snippets (stdin streaming
     must not slurp the whole stream before the first batch runs)."""
     count = 0
@@ -230,7 +238,7 @@ def _iter_snippet_lines(pipeline, lines, source: str, limit: Optional[int]):
         line = line.strip()
         if not line:
             continue
-        yield _parse_snippet_line(pipeline, line, source)
+        yield _parse_snippet_line(linker, line, source)
         count += 1
 
 
@@ -239,42 +247,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stdin stream, through the :mod:`repro.serving` service.  ``--async``
     routes requests through the deadline scheduler and ``--shards`` fans
     candidate scoring across KB shards; surfaces ServiceStats."""
-    from repro.serving import AsyncLinkingService, LinkingService, ServiceConfig
+    from repro.serving import AsyncLinkingService
 
-    pipeline = _load_checkpoint(args.checkpoint)
+    linker = _load_checkpoint(args.checkpoint)
     try:
-        config = ServiceConfig(
+        if args.deadline_ms <= 0:
+            raise ValueError("--deadline-ms must be > 0")
+        service = linker.serve(
             max_batch_size=args.batch_size,
             cache_size=args.cache_size,
             top_k=args.top_k,
             ref_cache_path=args.ref_cache,
-            num_shards=args.shards,
+            shards=args.shards,
         )
-        if args.deadline_ms <= 0:
-            raise ValueError("--deadline-ms must be > 0")
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    service = LinkingService(pipeline, config)
     streaming = args.input == "-"
 
     def emit(prediction) -> None:
         if args.json:
-            payload = {
-                "mention": prediction.mention,
-                "candidates": [
-                    {
-                        "entity_id": e,
-                        "name": pipeline.entity_name(e),
-                        "score": round(s, 4),
-                    }
-                    for e, s in zip(prediction.ranked_entities, prediction.scores)
-                ],
-            }
-            print(json.dumps(payload), flush=streaming)
+            print(json.dumps(_prediction_payload(linker, prediction)), flush=streaming)
         else:
             top = prediction.top()
             print(
-                f"{prediction.mention!r} -> {pipeline.entity_name(top)!r} "
+                f"{prediction.mention!r} -> {linker.entity_name(top)!r} "
                 f"(score {prediction.scores[0]:.3f})",
                 flush=streaming,
             )
@@ -285,29 +281,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # Incremental: results are flushed as each micro-batch lands,
             # so `repro serve --input - | head` behaves like a unix tool
             # (BrokenPipeError is handled by main()).
-            snippets = _iter_snippet_lines(pipeline, sys.stdin, "stdin", args.limit)
+            snippets = _iter_snippet_lines(linker, sys.stdin, "stdin", args.limit)
             if args.use_async:
                 with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
                     for prediction in async_service.link_stream(snippets):
                         emit(prediction)
                         served += 1
             else:
-                chunk = []
-                for snippet in snippets:
-                    chunk.append(snippet)
-                    if len(chunk) >= config.max_batch_size:
-                        for prediction in service.link_batch(chunk, top_k=args.top_k):
-                            emit(prediction)
-                        served += len(chunk)
-                        chunk = []
-                for prediction in (service.link_batch(chunk, top_k=args.top_k) if chunk else []):
-                    emit(prediction)
-                served += len(chunk)
+                from itertools import islice
+
+                while chunk := list(islice(snippets, args.batch_size)):
+                    for prediction in service.link_batch(chunk, top_k=args.top_k):
+                        emit(prediction)
+                    served += len(chunk)
         else:
             if args.input:
                 with open(args.input, encoding="utf-8") as fh:
                     snippets = list(
-                        _iter_snippet_lines(pipeline, fh, args.input, args.limit)
+                        _iter_snippet_lines(linker, fh, args.input, args.limit)
                     )
             else:
                 from repro.datasets import load_dataset
@@ -344,10 +335,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core import GNNExplainer
 
-    pipeline = _load_checkpoint(args.checkpoint)
-    snippet = pipeline.snippet_from_text(args.text, args.mention)
-    prediction = pipeline.disambiguate_snippet(snippet, top_k=1)
+    linker = _load_checkpoint(args.checkpoint)
+    snippet = linker.snippet_from_text(args.text, args.mention)
+    prediction = linker.disambiguate_snippet(snippet, top_k=1)
     target = prediction.top()
+    # The explainer drives engine internals the facade does not wrap.
+    pipeline = linker.pipeline
     query_graph = pipeline.build_query_graphs([snippet])[0]
     explainer = GNNExplainer(pipeline.model, pipeline.kb, epochs=args.opt_epochs)
     explanation = explainer.explain(
@@ -364,20 +357,63 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config_dump(args: argparse.Namespace) -> int:
+    """Print (or write) the LinkerConfig the given flags describe — the
+    exact payload ``Linker.from_config`` consumes and ``Linker.save``
+    persists as ``linker.json``."""
+    text = _linker_config(args).to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_config_validate(args: argparse.Namespace) -> int:
+    from repro.api import LinkerConfig
+
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            config = LinkerConfig.from_json(fh.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{args.file}: {exc}") from None
+    print(
+        f"{args.file}: valid LinkerConfig — variant={config.model.variant}, "
+        f"candidate_generator={config.candidate_generator}, ner={config.ner}, "
+        f"embedder={config.embedder}"
+    )
+    return 0
+
+
+def _f1_grid(datasets, columns, run_column, row_head=None) -> List[List[str]]:
+    """Rows of an F1 table: one line per dataset, one cell per column
+    (the shape Tables 3/4/5 share; ``run_column`` yields a SystemRun)."""
+    rows = []
+    for name in datasets:
+        row = ([row_head(name)] if row_head else []) + [name]
+        row += [f"{run_column(name, col).test.f1:.3f}" for col in columns]
+        rows.append(row)
+    return rows
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.eval import format_table
     from repro.eval.evaluator import BEST_VARIANT, run_best_variant, run_system
 
     datasets: List[str] = args.datasets
     epochs = args.epochs
+    common = dict(epochs=epochs, seed=args.seed, scale=args.scale)
 
     if args.experiment == "table2":
         from repro.datasets import load_dataset
 
         rows = []
         for name in datasets:
-            dataset = load_dataset(name, scale=args.scale)
-            stats = dataset.stats()
+            stats = load_dataset(name, scale=args.scale).stats()
             rows.append([name, str(stats["nodes"]), str(stats["edges"])])
         print(format_table(["Dataset", "# Nodes", "# Edges"], rows, title="Table 2"))
         return 0
@@ -386,13 +422,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         systems = args.systems or [
             "DeepMatcher", "NormCo", "NCEL", "graphsage", "rgcn", "magnn",
         ]
-        rows = []
-        for name in datasets:
-            row = [name]
-            for system in systems:
-                run = run_system(name, system, epochs=epochs, seed=args.seed, scale=args.scale)
-                row.append(f"{run.test.f1:.3f}")
-            rows.append(row)
+        rows = _f1_grid(datasets, systems, lambda name, s: run_system(name, s, **common))
         print(
             format_table(
                 ["Dataset"] + [f"{s} F1" for s in systems], rows, title="Table 3 (F1)"
@@ -406,13 +436,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             ("Query graph aug", dict(use_hard_negatives=False, augment_query_graphs=True)),
             ("Neg sampling", dict(use_hard_negatives=True, augment_query_graphs=False)),
         ]
-        rows = []
-        for name in datasets:
-            row = [f"ED-GNN({BEST_VARIANT[name]})", name]
-            for _, kwargs in configs:
-                run = run_best_variant(name, epochs=epochs, seed=args.seed, scale=args.scale, **kwargs)
-                row.append(f"{run.test.f1:.3f}")
-            rows.append(row)
+        rows = _f1_grid(
+            datasets,
+            [kwargs for _, kwargs in configs],
+            lambda name, kwargs: run_best_variant(name, **common, **kwargs),
+            row_head=lambda name: f"ED-GNN({BEST_VARIANT[name]})",
+        )
         print(
             format_table(
                 ["Method", "Dataset"] + [label for label, _ in configs],
@@ -424,15 +453,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     if args.experiment == "table5":
         layer_range = [1, 2, 3, 4]
-        rows = []
-        for name in datasets:
-            row = [name]
-            for layers in layer_range:
-                run = run_best_variant(
-                    name, epochs=epochs, seed=args.seed, scale=args.scale, num_layers=layers
-                )
-                row.append(f"{run.test.f1:.3f}")
-            rows.append(row)
+        rows = _f1_grid(
+            datasets,
+            layer_range,
+            lambda name, layers: run_best_variant(name, num_layers=layers, **common),
+        )
         print(
             format_table(
                 ["Dataset"] + [f"{n} layers" for n in layer_range],
@@ -444,7 +469,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     if args.experiment == "fig4b":
         for name in datasets:
-            run = run_best_variant(name, epochs=epochs, seed=args.seed, scale=args.scale)
+            run = run_best_variant(name, **common)
             curve = run.convergence
             checkpoints = [e for e in (0, 5, 10, 15, 20, 30, epochs or 0) if e < len(curve)]
             series = "  ".join(f"ep{e}:{curve[e][1]:.3f}" for e in checkpoints)
@@ -457,10 +482,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
-def _add_common_training_flags(parser: argparse.ArgumentParser) -> None:
+def _add_common_training_flags(parser: argparse.ArgumentParser, scale: bool = True) -> None:
     parser.add_argument("--epochs", type=int, default=None, help="training epochs")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument("--scale", type=float, default=None, help="dataset scale in (0, 1]")
+    if scale:
+        # A dataset-generation knob, not a construction knob — commands
+        # that only build a LinkerConfig (config dump) must not take it.
+        parser.add_argument("--scale", type=float, default=None, help="dataset scale in (0, 1]")
     parser.add_argument("--layers", type=int, default=None, help="GNN layers")
     parser.add_argument(
         "--no-hard-negatives",
@@ -496,10 +524,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     p.set_defaults(func=_cmd_synth)
 
-    p = sub.add_parser("train", help="train an ED-GNN pipeline, optionally checkpoint it")
+    p = sub.add_parser("train", help="train an ED-GNN linker, optionally checkpoint it")
     p.add_argument("--dataset", required=True)
     p.add_argument("--variant", default=None, help="encoder variant (default: best per dataset)")
     p.add_argument("--out", default=None, help="checkpoint directory to write")
+    p.add_argument(
+        "--fuzzy",
+        action="store_true",
+        help="use the 'fuzzy' candidate generator (approximate retrieval on index misses)",
+    )
     _add_common_training_flags(p)
     p.set_defaults(func=_cmd_train)
 
@@ -567,6 +600,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hops", type=int, default=2)
     p.add_argument("--opt-epochs", type=int, default=100, help="mask optimisation steps")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("config", help="dump or validate a declarative LinkerConfig")
+    config_sub = p.add_subparsers(dest="action", required=True)
+    d = config_sub.add_parser(
+        "dump", help="print the LinkerConfig JSON the training flags describe"
+    )
+    d.add_argument("--dataset", default=None, help="pick the per-dataset best variant/layers")
+    d.add_argument("--variant", default=None, help="encoder variant (default: best per dataset)")
+    d.add_argument(
+        "--fuzzy", action="store_true", help="use the 'fuzzy' candidate generator"
+    )
+    d.add_argument("--out", default=None, help="write to a file instead of stdout")
+    _add_common_training_flags(d, scale=False)
+    d.set_defaults(func=_cmd_config_dump)
+    v = config_sub.add_parser("validate", help="parse and validate a LinkerConfig JSON file")
+    v.add_argument("file", help="path to the config JSON")
+    v.set_defaults(func=_cmd_config_validate)
 
     p = sub.add_parser("reproduce", help="regenerate one of the paper's experiments")
     p.add_argument(

@@ -6,7 +6,12 @@ matching modules (Section 2.2), the trainer (Section 4.2), the end-to-end
 pipeline, and the GNN-Explainer (Section 4.4).
 """
 
-from .candidates import Candidate, FuzzyCandidateGenerator  # noqa: F401
+from .candidates import (  # noqa: F401
+    Candidate,
+    ExactCandidateGenerator,
+    FuzzyCandidateGenerator,
+    FuzzyFallbackCandidateGenerator,
+)
 from .explainer import EdgeAttribution, Explanation, GNNExplainer  # noqa: F401
 from .matching import (  # noqa: F401
     BilinearMatcher,
@@ -15,7 +20,15 @@ from .matching import (  # noqa: F401
     MLPMatcher,
     make_matcher,
 )
-from .model import EDGNN, VARIANTS, ModelConfig, build_encoder  # noqa: F401
+from .model import (  # noqa: F401
+    EDGNN,
+    ENCODER_BUILDERS,
+    VARIANTS,
+    ModelConfig,
+    build_encoder,
+    encoder_names,
+    register_encoder,
+)
 from .negative_sampling import (  # noqa: F401
     ConstantSchedule,
     CurriculumSchedule,
@@ -64,7 +77,10 @@ __all__ = [
     "EDGNN",
     "ModelConfig",
     "VARIANTS",
+    "ENCODER_BUILDERS",
     "build_encoder",
+    "encoder_names",
+    "register_encoder",
     "EDGNNTrainer",
     "TrainConfig",
     "TrainResult",
@@ -81,4 +97,6 @@ __all__ = [
     "EdgeAttribution",
     "FuzzyCandidateGenerator",
     "Candidate",
+    "ExactCandidateGenerator",
+    "FuzzyFallbackCandidateGenerator",
 ]

@@ -31,7 +31,12 @@ from ..graph.index import InvertedIndex, normalize_surface
 from ..text.embedder import HashingNgramEmbedder
 from ..text.variants import edit_distance
 
-__all__ = ["Candidate", "FuzzyCandidateGenerator"]
+__all__ = [
+    "Candidate",
+    "FuzzyCandidateGenerator",
+    "ExactCandidateGenerator",
+    "FuzzyFallbackCandidateGenerator",
+]
 
 
 @dataclass(frozen=True)
@@ -107,3 +112,76 @@ class FuzzyCandidateGenerator:
     def candidate_ids(self, surface: str, top_k: int = 10) -> List[int]:
         """Just the node ids (the pipeline's consumption format)."""
         return [c.node for c in self.candidates(surface, top_k)]
+
+
+class ExactCandidateGenerator:
+    """The paper's Section 3.1 candidate-generation stage as a component.
+
+    Inverted-index lookup first; on a miss, :meth:`_fallback` (a hook for
+    subclasses — no-op here), then all type-compatible entities, then the
+    whole KB.  Registered as ``"exact"`` in
+    :data:`repro.api.CANDIDATE_GENERATORS`; the behaviour is bit-identical
+    to the pre-registry ``EDPipeline.candidate_ids``.
+    """
+
+    name = "exact"
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        index: Optional[InvertedIndex] = None,
+        embedder: Optional[HashingNgramEmbedder] = None,
+    ):
+        self.kb = kb
+        self.index = index if index is not None else InvertedIndex(kb)
+        self.embedder = embedder
+
+    def _fallback(self, surface: str) -> List[int]:
+        """Candidates for an index miss; subclasses widen the retrieval."""
+        return []
+
+    def candidates_for(
+        self,
+        surface: str,
+        category: Optional[str] = None,
+        restrict_to_candidates: bool = True,
+    ) -> np.ndarray:
+        """KB node ids to rank for a surface form."""
+        candidates = self.index.lookup(surface) if restrict_to_candidates else []
+        if not candidates and restrict_to_candidates:
+            candidates = self._fallback(surface)
+        if not candidates and category is not None and category in self.kb.schema.node_types:
+            candidates = self.kb.nodes_of_type(category).tolist()
+        if not candidates:
+            candidates = list(range(self.kb.num_nodes))
+        return np.asarray(candidates, dtype=np.int64)
+
+
+class FuzzyFallbackCandidateGenerator(ExactCandidateGenerator):
+    """``"fuzzy"``: exact lookup with approximate lexical retrieval on a
+    miss (the production remedy for typo'd surfaces; see
+    :class:`FuzzyCandidateGenerator` for the retrieval itself)."""
+
+    name = "fuzzy"
+
+    def __init__(
+        self,
+        kb: HeteroGraph,
+        index: Optional[InvertedIndex] = None,
+        embedder: Optional[HashingNgramEmbedder] = None,
+        top_k: int = 20,
+        min_similarity: float = 0.25,
+        max_edit_ratio: float = 0.6,
+    ):
+        super().__init__(kb, index=index, embedder=embedder)
+        self.top_k = top_k
+        self._fuzzy = FuzzyCandidateGenerator(
+            kb,
+            index=self.index,
+            embedder=embedder,
+            min_similarity=min_similarity,
+            max_edit_ratio=max_edit_ratio,
+        )
+
+    def _fallback(self, surface: str) -> List[int]:
+        return self._fuzzy.candidate_ids(surface, top_k=self.top_k)

@@ -10,7 +10,7 @@ accumulate into one weight bank.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +22,38 @@ from .matching import make_matcher
 
 #: encoder variants of Table 3 (plus the GCN/GAT/HAN/HetGNN extensions)
 VARIANTS = ("graphsage", "rgcn", "magnn", "gcn", "gat", "han", "hetgnn")
+
+#: ``variant name -> builder(config, schema, common)`` — the encoder table
+#: behind :func:`build_encoder`.  ``common`` carries the kwargs every
+#: encoder shares (in_dim/hidden_dim/num_layers/rng).  New variants are
+#: added through :func:`register_encoder` (re-exported as
+#: ``repro.api.register_encoder``), not by editing a constructor chain.
+ENCODER_BUILDERS: Dict[str, Callable[["ModelConfig", GraphSchema, dict], GNNEncoder]] = {}
+
+
+def register_encoder(
+    name: str, builder: Optional[Callable] = None
+) -> Callable:
+    """Register a GNN encoder builder under ``name``.
+
+    Usable directly (``register_encoder("sage2", make_sage2)``) or as a
+    decorator.  A registered variant is immediately valid in
+    :class:`ModelConfig` and therefore constructible from a
+    :class:`~repro.api.LinkerConfig`.  Duplicate names are rejected.
+    """
+
+    def _register(fn: Callable) -> Callable:
+        if name in ENCODER_BUILDERS:
+            raise ValueError(f"encoder variant {name!r} is already registered")
+        ENCODER_BUILDERS[name] = fn
+        return fn
+
+    return _register(builder) if builder is not None else _register
+
+
+def encoder_names() -> tuple:
+    """All registered encoder variant names (built-ins first)."""
+    return tuple(ENCODER_BUILDERS)
 
 
 @dataclass
@@ -43,49 +75,78 @@ class ModelConfig:
     seed: int = 0
 
     def __post_init__(self):
-        if self.variant not in VARIANTS:
-            raise ValueError(f"unknown variant {self.variant!r}; options: {VARIANTS}")
+        if self.variant not in ENCODER_BUILDERS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; options: {encoder_names()}"
+            )
+
+
+@register_encoder("graphsage")
+def _build_graphsage(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return GraphSAGE(dropout=config.dropout, **common)
+
+
+@register_encoder("rgcn")
+def _build_rgcn(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return RGCN(num_relations=schema.num_relations, dropout=config.dropout, **common)
+
+
+@register_encoder("magnn")
+def _build_magnn(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return MAGNN(
+        schema=schema,
+        metapaths=config.metapaths,
+        num_heads=config.num_heads,
+        attention_dim=config.attention_dim,
+        dropout=config.dropout,
+        max_instances_per_node=config.max_instances_per_node,
+        **common,
+    )
+
+
+@register_encoder("gcn")
+def _build_gcn(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return GCN(dropout=config.dropout, **common)
+
+
+@register_encoder("gat")
+def _build_gat(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return GAT(num_heads=config.num_heads, dropout=config.dropout, **common)
+
+
+@register_encoder("han")
+def _build_han(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return HAN(
+        schema=schema,
+        metapaths=config.metapaths,
+        num_heads=config.num_heads,
+        attention_dim=config.attention_dim,
+        dropout=config.dropout,
+        max_instances_per_node=config.max_instances_per_node,
+        **common,
+    )
+
+
+@register_encoder("hetgnn")
+def _build_hetgnn(config: ModelConfig, schema: GraphSchema, common: dict) -> GNNEncoder:
+    return HetGNN(schema=schema, dropout=config.dropout, **common)
 
 
 def build_encoder(config: ModelConfig, schema: GraphSchema, rng: np.random.Generator) -> GNNEncoder:
-    """Instantiate the GNN encoder for a config + schema."""
+    """Instantiate the GNN encoder for a config + schema via the table."""
+    try:
+        builder = ENCODER_BUILDERS[config.variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {config.variant!r}; options: {encoder_names()}"
+        ) from None
     common = dict(
         in_dim=config.feature_dim,
         hidden_dim=config.hidden_dim,
         num_layers=config.num_layers,
         rng=rng,
     )
-    if config.variant == "graphsage":
-        return GraphSAGE(dropout=config.dropout, **common)
-    if config.variant == "rgcn":
-        return RGCN(num_relations=schema.num_relations, dropout=config.dropout, **common)
-    if config.variant == "magnn":
-        return MAGNN(
-            schema=schema,
-            metapaths=config.metapaths,
-            num_heads=config.num_heads,
-            attention_dim=config.attention_dim,
-            dropout=config.dropout,
-            max_instances_per_node=config.max_instances_per_node,
-            **common,
-        )
-    if config.variant == "gcn":
-        return GCN(dropout=config.dropout, **common)
-    if config.variant == "gat":
-        return GAT(num_heads=config.num_heads, dropout=config.dropout, **common)
-    if config.variant == "han":
-        return HAN(
-            schema=schema,
-            metapaths=config.metapaths,
-            num_heads=config.num_heads,
-            attention_dim=config.attention_dim,
-            dropout=config.dropout,
-            max_instances_per_node=config.max_instances_per_node,
-            **common,
-        )
-    if config.variant == "hetgnn":
-        return HetGNN(schema=schema, dropout=config.dropout, **common)
-    raise ValueError(config.variant)
+    return builder(config, schema, common)
 
 
 class EDGNN(Module):

@@ -8,8 +8,9 @@ It is the public API the examples and benchmarks drive.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from ..graph.index import InvertedIndex
 from ..text.corpus import MentionAnnotation, Snippet, mint_cui
 from ..text.embedder import HashingNgramEmbedder, node_features_for_graph
 from ..text.ner import DictionaryNER
+from .candidates import ExactCandidateGenerator, FuzzyFallbackCandidateGenerator
 from .model import EDGNN, ModelConfig
 from .query_graph import QueryGraph, build_query_graph, build_query_graphs, with_related_relation
 from .trainer import EDGNNTrainer, TrainConfig, TrainResult
@@ -37,7 +39,15 @@ class Prediction:
 
 
 class EDPipeline:
-    """Text snippet -> query graph -> Siamese GNN -> ranked KB entities."""
+    """Text snippet -> query graph -> Siamese GNN -> ranked KB entities.
+
+    The stages are pluggable: ``candidate_generator`` and ``ner`` accept
+    component *factories* called as ``factory(kb, index=..., embedder=...)``
+    — usually registry entries resolved by
+    :meth:`repro.api.Linker.from_config`.  The legacy
+    ``fuzzy_candidates=True/False`` kwarg still works but is deprecated in
+    favour of the named ``"fuzzy"``/``"exact"`` generators.
+    """
 
     def __init__(
         self,
@@ -46,13 +56,14 @@ class EDPipeline:
         train_config: Optional[TrainConfig] = None,
         augment_query_graphs: bool = True,
         embedder: Optional[HashingNgramEmbedder] = None,
-        fuzzy_candidates: bool = False,
+        fuzzy_candidates: Optional[bool] = None,
+        candidate_generator: Optional[Callable] = None,
+        ner: Optional[Callable] = None,
     ):
         self.kb = kb
         self.model_config = model_config or ModelConfig()
         self.train_config = train_config or TrainConfig()
         self.augment = augment_query_graphs
-        self.fuzzy_candidates = fuzzy_candidates
         self.embedder = embedder or HashingNgramEmbedder(dim=self.model_config.feature_dim)
         if self.embedder.dim != self.model_config.feature_dim:
             raise ValueError("embedder dim must equal model feature_dim")
@@ -68,14 +79,27 @@ class EDPipeline:
             kb.set_features(node_features_for_graph(kb, self.embedder))
 
         self.index = InvertedIndex(kb)
-        self.ner = DictionaryNER(kb, self.index)
-        self._fuzzy_generator = None
-        if fuzzy_candidates:
-            from .candidates import FuzzyCandidateGenerator
-
-            self._fuzzy_generator = FuzzyCandidateGenerator(
-                kb, index=self.index, embedder=self.embedder
+        if fuzzy_candidates is not None:
+            warnings.warn(
+                "EDPipeline(fuzzy_candidates=...) is deprecated; pass "
+                "candidate_generator (e.g. repro.api.CANDIDATE_GENERATORS"
+                "['fuzzy']) or build through repro.api.Linker.from_config "
+                "with candidate_generator='fuzzy'",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            if candidate_generator is None:
+                candidate_generator = (
+                    FuzzyFallbackCandidateGenerator if fuzzy_candidates
+                    else ExactCandidateGenerator
+                )
+        if candidate_generator is None:
+            candidate_generator = ExactCandidateGenerator
+        self.candidate_generator = candidate_generator(
+            kb, index=self.index, embedder=self.embedder
+        )
+        ner_factory = ner if ner is not None else DictionaryNER
+        self.ner = ner_factory(kb, index=self.index)
         if self.model_config.variant in ("magnn", "han") and self.model_config.metapaths is None:
             # Data-driven metapath curation from the KB (MAGNN/HAN use a
             # small hand-picked set per dataset in the original papers).
@@ -88,6 +112,12 @@ class EDPipeline:
         self.trainer: Optional[EDGNNTrainer] = None
         self._ref_compiled = None
         self._h_ref: Optional[np.ndarray] = None
+
+    @property
+    def fuzzy_candidates(self) -> bool:
+        """Whether the generator widens index misses with fuzzy retrieval
+        (legacy checkpoint field; the component itself is authoritative)."""
+        return isinstance(self.candidate_generator, FuzzyFallbackCandidateGenerator)
 
     # ------------------------------------------------------------------
     # Training
@@ -198,21 +228,15 @@ class EDPipeline:
     ) -> np.ndarray:
         """Candidate-generation stage: KB node ids to rank for a surface.
 
-        With ``restrict_to_candidates`` the set is the inverted index's
-        candidates (falling back to fuzzy retrieval when configured, then
-        type-compatible entities, then the whole KB); otherwise the whole
-        KB.  Separated from :meth:`disambiguate_snippet` so the serving
-        layer can generate candidates in bulk before a batched forward.
+        Delegates to the pluggable ``candidate_generator`` component (the
+        ``"exact"`` index lookup by default, ``"fuzzy"`` widening misses
+        with approximate retrieval).  Separated from
+        :meth:`disambiguate_snippet` so the serving layer can generate
+        candidates in bulk before a batched forward.
         """
-        candidates = self.index.lookup(surface) if restrict_to_candidates else []
-        if not candidates and restrict_to_candidates and self._fuzzy_generator is not None:
-            # Approximate lexical retrieval for index misses (typos etc.).
-            candidates = self._fuzzy_generator.candidate_ids(surface, top_k=20)
-        if not candidates and category is not None and category in self.schema.node_types:
-            candidates = self.kb.nodes_of_type(category).tolist()
-        if not candidates:
-            candidates = list(range(self.kb.num_nodes))
-        return np.asarray(candidates, dtype=np.int64)
+        return self.candidate_generator.candidates_for(
+            surface, category=category, restrict_to_candidates=restrict_to_candidates
+        )
 
     def build_query_graph_for(self, snippet: Snippet) -> QueryGraph:
         """Query-graph-construction stage for a single snippet."""

@@ -27,14 +27,24 @@ from .negative_sampling import ConstantSchedule, CurriculumSchedule
 from .pipeline import EDPipeline
 from .trainer import TrainConfig
 
-__all__ = ["save_pipeline", "load_pipeline", "CHECKPOINT_FILES"]
+__all__ = [
+    "save_pipeline",
+    "load_pipeline",
+    "CHECKPOINT_FILES",
+    "model_config_to_dict",
+    "model_config_from_dict",
+    "train_config_to_dict",
+    "train_config_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
 
 CHECKPOINT_FILES = ("kb.json", "config.json", "weights.npz")
 
 _FORMAT_VERSION = 1
 
 
-def _schedule_to_dict(schedule: CurriculumSchedule) -> dict:
+def schedule_to_dict(schedule: CurriculumSchedule) -> dict:
     return {
         "kind": "constant" if isinstance(schedule, ConstantSchedule) else "curriculum",
         "max_hard_fraction": schedule.max_hard_fraction,
@@ -42,38 +52,43 @@ def _schedule_to_dict(schedule: CurriculumSchedule) -> dict:
     }
 
 
-def _schedule_from_dict(payload: dict) -> CurriculumSchedule:
-    if payload["kind"] == "constant":
+def schedule_from_dict(payload: dict) -> CurriculumSchedule:
+    kind = payload["kind"]
+    if kind == "constant":
         return ConstantSchedule(hard_fraction=payload["max_hard_fraction"])
-    return CurriculumSchedule(
-        max_hard_fraction=payload["max_hard_fraction"],
-        warmup_epochs=payload["warmup_epochs"],
+    if kind == "curriculum":
+        return CurriculumSchedule(
+            max_hard_fraction=payload["max_hard_fraction"],
+            warmup_epochs=payload["warmup_epochs"],
+        )
+    raise ValueError(
+        f"unknown curriculum kind {kind!r} (expected 'constant' or 'curriculum')"
     )
 
 
-def _model_config_to_dict(config: ModelConfig) -> dict:
+def model_config_to_dict(config: ModelConfig) -> dict:
     payload = asdict(config)
     if config.metapaths is not None:
         payload["metapaths"] = [list(mp.node_types) for mp in config.metapaths]
     return payload
 
 
-def _model_config_from_dict(payload: dict) -> ModelConfig:
+def model_config_from_dict(payload: dict) -> ModelConfig:
     payload = dict(payload)
     if payload.get("metapaths") is not None:
         payload["metapaths"] = [Metapath(tuple(types)) for types in payload["metapaths"]]
     return ModelConfig(**payload)
 
 
-def _train_config_to_dict(config: TrainConfig) -> dict:
+def train_config_to_dict(config: TrainConfig) -> dict:
     payload = asdict(config)
-    payload["curriculum"] = _schedule_to_dict(config.curriculum)
+    payload["curriculum"] = schedule_to_dict(config.curriculum)
     return payload
 
 
-def _train_config_from_dict(payload: dict) -> TrainConfig:
+def train_config_from_dict(payload: dict) -> TrainConfig:
     payload = dict(payload)
-    payload["curriculum"] = _schedule_from_dict(payload["curriculum"])
+    payload["curriculum"] = schedule_from_dict(payload["curriculum"])
     return TrainConfig(**payload)
 
 
@@ -84,8 +99,8 @@ def save_pipeline(pipeline: EDPipeline, directory: str) -> None:
 
     config = {
         "format_version": _FORMAT_VERSION,
-        "model": _model_config_to_dict(pipeline.model_config),
-        "train": _train_config_to_dict(pipeline.train_config),
+        "model": model_config_to_dict(pipeline.model_config),
+        "train": train_config_to_dict(pipeline.train_config),
         "augment_query_graphs": pipeline.augment,
         "fuzzy_candidates": pipeline.fuzzy_candidates,
         "embedder": {
@@ -128,13 +143,20 @@ def load_pipeline(directory: str) -> EDPipeline:
         use_words=embedder_cfg["use_words"],
         seed=embedder_cfg["seed"],
     )
+    from .candidates import ExactCandidateGenerator, FuzzyFallbackCandidateGenerator
+
+    generator = (
+        FuzzyFallbackCandidateGenerator
+        if config.get("fuzzy_candidates", False)
+        else ExactCandidateGenerator
+    )
     pipeline = EDPipeline(
         kb,
-        model_config=_model_config_from_dict(config["model"]),
-        train_config=_train_config_from_dict(config["train"]),
+        model_config=model_config_from_dict(config["model"]),
+        train_config=train_config_from_dict(config["train"]),
         augment_query_graphs=config["augment_query_graphs"],
         embedder=embedder,
-        fuzzy_candidates=config.get("fuzzy_candidates", False),
+        candidate_generator=generator,
     )
 
     from ..autograd.serialization import load_state

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..baselines import BASELINES
-from ..core.model import ModelConfig, VARIANTS
+from ..core.model import ModelConfig, encoder_names
 from ..core.pipeline import EDPipeline
 from ..core.trainer import PairRecord, TrainConfig
 from ..datasets import load_dataset
@@ -92,8 +92,13 @@ def run_system(
             convergence=[(e, f1) for e, _, f1 in result.history],
         )
 
-    if system not in VARIANTS:
-        raise ValueError(f"unknown system {system!r}; options: {ALL_SYSTEMS + VARIANTS}")
+    if system not in encoder_names():
+        raise ValueError(
+            f"unknown system {system!r}; options: {tuple(ALL_SYSTEMS) + encoder_names()}"
+        )
+    # Lazy: the api facade sits above eval in the layering.
+    from ..api import Linker, LinkerConfig
+
     layers = num_layers if num_layers is not None else BEST_LAYERS.get(dataset_name, 3)
     model_kwargs = dict(variant=system, num_layers=layers, seed=seed)
     model_kwargs.update(model_overrides or {})
@@ -104,13 +109,15 @@ def run_system(
         use_hard_negatives=use_hard_negatives,
     )
     train_kwargs.update(train_overrides or {})
-    pipeline = EDPipeline(
+    linker = Linker.from_config(
+        LinkerConfig(
+            model=ModelConfig(**model_kwargs),
+            train=TrainConfig(**train_kwargs),
+            augment_query_graphs=augment_query_graphs,
+        ),
         dataset.kb,
-        model_config=ModelConfig(**model_kwargs),
-        train_config=TrainConfig(**train_kwargs),
-        augment_query_graphs=augment_query_graphs,
     )
-    result = pipeline.fit(dataset.train, dataset.val, dataset.test)
+    result = linker.fit(dataset.train, dataset.val, dataset.test)
     return SystemRun(
         dataset=dataset_name,
         system=system,
@@ -119,7 +126,7 @@ def run_system(
         best_epoch=result.best_epoch,
         convergence=result.convergence_curve,
         test_records=result.test_records,
-        pipeline=pipeline,
+        pipeline=linker.pipeline,
     )
 
 

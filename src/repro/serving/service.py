@@ -97,9 +97,18 @@ class ServiceConfig:
 
 
 class LinkingService:
-    """High-throughput entity-linking frontend over a fitted pipeline."""
+    """High-throughput entity-linking frontend over a fitted pipeline.
 
-    def __init__(self, pipeline: EDPipeline, config: Optional[ServiceConfig] = None):
+    Accepts either the raw :class:`EDPipeline` engine or a
+    :class:`repro.api.Linker` facade (unwrapped on entry; prefer
+    ``Linker.serve()`` which also applies the config's service section).
+    """
+
+    def __init__(self, pipeline, config: Optional[ServiceConfig] = None):
+        if not isinstance(pipeline, EDPipeline):
+            # A Linker facade (duck-typed: serving must not import the
+            # api layer, which sits above it).
+            pipeline = getattr(pipeline, "pipeline", pipeline)
         self.pipeline = pipeline
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()

@@ -85,9 +85,13 @@ class TestPipelineFuzzyIntegration:
             train_config=TrainConfig(epochs=2, patience=5, seed=0),
             embedder=HashingNgramEmbedder(dim=32),
         )
-        plain = EDPipeline(dataset.kb, fuzzy_candidates=False, **kwargs)
+        from repro.core import ExactCandidateGenerator, FuzzyFallbackCandidateGenerator
+
+        plain = EDPipeline(dataset.kb, candidate_generator=ExactCandidateGenerator, **kwargs)
         plain.fit(dataset.train, dataset.val, dataset.test)
-        fuzzy = EDPipeline(dataset.kb, fuzzy_candidates=True, **kwargs)
+        fuzzy = EDPipeline(
+            dataset.kb, candidate_generator=FuzzyFallbackCandidateGenerator, **kwargs
+        )
         fuzzy.fit(dataset.train, dataset.val, dataset.test)
         return dataset, plain, fuzzy
 
@@ -108,13 +112,13 @@ class TestPipelineFuzzyIntegration:
         )
 
     def test_fuzzy_flag_round_trips_checkpoint(self, pipelines, tmp_path):
-        from repro.core import load_pipeline, save_pipeline
+        from repro.core import FuzzyFallbackCandidateGenerator, load_pipeline, save_pipeline
 
         _, _, fuzzy = pipelines
         save_pipeline(fuzzy, str(tmp_path))
         loaded = load_pipeline(str(tmp_path))
         assert loaded.fuzzy_candidates is True
-        assert loaded._fuzzy_generator is not None
+        assert isinstance(loaded.candidate_generator, FuzzyFallbackCandidateGenerator)
 
 
 class TestLinkingEvaluation:

@@ -47,7 +47,8 @@ class TestParser:
 
     def test_all_subcommands_have_help(self, capsys):
         for command in (
-            "datasets", "synth", "train", "evaluate", "link", "serve", "explain", "reproduce",
+            "datasets", "synth", "train", "evaluate", "link", "serve", "explain",
+            "config", "reproduce",
         ):
             with pytest.raises(SystemExit) as exc:
                 build_parser().parse_args([command, "--help"])
@@ -240,6 +241,60 @@ class TestServe:
                     "--deadline-ms", "0",
                 ]
             )
+
+
+class TestConfig:
+    def test_dump_prints_valid_config(self, capsys):
+        from repro.api import LinkerConfig
+
+        assert main(
+            ["config", "dump", "--dataset", "NCBI", "--variant", "rgcn", "--epochs", "7"]
+        ) == 0
+        config = LinkerConfig.from_json(capsys.readouterr().out)
+        assert config.model.variant == "rgcn"
+        assert config.train.epochs == 7
+        assert config.model.num_layers == 2  # NCBI's Table 5 best
+
+    def test_dump_fuzzy_flag(self, capsys):
+        from repro.api import LinkerConfig
+
+        assert main(["config", "dump", "--variant", "graphsage", "--fuzzy"]) == 0
+        config = LinkerConfig.from_json(capsys.readouterr().out)
+        assert config.candidate_generator == "fuzzy"
+
+    def test_dump_validate_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "linker.json")
+        assert main(["config", "dump", "--variant", "graphsage", "--out", path]) == 0
+        assert main(["config", "validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "valid LinkerConfig" in out
+        assert "variant=graphsage" in out
+
+    def test_validate_rejects_bad_config(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(SystemExit, match="schema_version"):
+            main(["config", "validate", str(path)])
+
+    def test_validate_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["config", "validate", str(tmp_path / "nope.json")])
+
+    def test_validate_rejects_incomplete_section_cleanly(self, tmp_path):
+        # No raw KeyError traceback: a sited SystemExit instead.
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"schema_version": 1, "train": {"epochs": 10}}))
+        with pytest.raises(SystemExit, match="bad train section"):
+            main(["config", "validate", str(path)])
+
+    def test_dump_rejects_scale_flag(self):
+        # --scale is a dataset knob with no LinkerConfig field; accepting
+        # and ignoring it would be a silent no-op.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["config", "dump", "--scale", "0.5"])
+
+    def test_checkpoint_is_self_describing(self, checkpoint):
+        assert main(["config", "validate", os.path.join(checkpoint, "linker.json")]) == 0
 
 
 class TestEvaluate:
