@@ -5,13 +5,17 @@ Builds a small ED-GNN from a declarative :class:`repro.api.LinkerConfig`
 the batched :class:`repro.serving.LinkingService`, replays it to show
 the LRU result cache, saves a self-describing checkpoint, then serves
 the same stream through the deadline-aware
-:class:`repro.serving.AsyncLinkingService` with KB sharding on and
-prints latency percentiles alongside the service stats.
+:class:`repro.serving.AsyncLinkingService` with KB sharding on
+**process-backed shard workers** (``shard_backend="process"`` — one GIL
+per shard, bit-identical scores) and prints latency percentiles
+alongside the service stats.
 
 The same paths are reachable from the CLI:
 
     repro config dump --variant graphsage > linker.json
-    repro serve --checkpoint CKPT --async --shards 2 --deadline-ms 25
+    repro train --dataset NCBI --config linker.json --out CKPT
+    repro serve --checkpoint CKPT --async --shards 2 --deadline-ms 25 \
+        --shard-backend process
     cat snippets.jsonl | repro serve --checkpoint CKPT --input - --async
 
 Run:  PYTHONPATH=src python examples/serving_quickstart.py
@@ -88,18 +92,26 @@ def main() -> None:
     # 7. Async serving: requests go onto a queue; micro-batches form when
     #    full OR when the oldest request's deadline budget is up, so a
     #    trickle of traffic is never stalled behind a fixed batch size.
-    #    shards=2 partitions the KB (and its embedding cache) and fans
-    #    candidate scoring out to shard workers — predictions stay
-    #    identical to the sequential pipeline either way.
-    with linker.serve(async_=True, shards=2, deadline_ms=25.0, cache_size=0) as async_service:
+    #    shards=2 partitions the KB (and its embedding cache);
+    #    shard_backend="process" moves each shard into a long-lived
+    #    worker process (its pickled shard shipped once, then only
+    #    compact score requests cross the pipe) so candidate scoring
+    #    runs on one GIL per shard — with automatic fallback to threads
+    #    where the platform cannot fork.  Predictions stay identical to
+    #    the sequential pipeline on every backend.
+    with linker.serve(
+        async_=True, shards=2, shard_backend="process",
+        deadline_ms=25.0, cache_size=0,
+    ) as async_service:
         futures = [async_service.submit(snippet) for snippet in dataset.test]
         async_predictions = [f.result() for f in futures]
         assert [p.ranked_entities for p in async_predictions] == [
             p.ranked_entities for p in predictions
         ]
+        backend = async_service.service.sharded.backend
         stats = async_service.stats
         print(
-            f"\nasync + 2 shards: {len(async_predictions)} mentions, "
+            f"\nasync + 2 {backend}-backed shards: {len(async_predictions)} mentions, "
             f"p50 {stats.latency_percentile(50):.1f}ms / "
             f"p95 {stats.latency_percentile(95):.1f}ms latency, "
             f"p95 queue wait {stats.queue_wait_percentile(95):.1f}ms"

@@ -5,11 +5,14 @@ One frozen dataclass describes a full linker: the nested
 :class:`~repro.core.trainer.TrainConfig` /
 :class:`~repro.serving.ServiceConfig`, plus the *names* of the pluggable
 components (candidate generator, NER, embedder — see
-:mod:`repro.api.registry`) and their kwargs.  ``to_json``/``from_json``
-round-trip exactly, the payload is schema-versioned, and parsing is
-strict: unknown keys, unknown component names, and unsupported versions
-are rejected rather than ignored — a config that parses is a config that
-constructs.
+:mod:`repro.api.registry`) and their kwargs.  The service section covers
+the full serving surface, shard execution backend included
+(``ServiceConfig(num_shards=4, shard_backend="process")`` declares a
+process-worker sharded service).  ``to_json``/``from_json`` round-trip
+exactly, the payload is schema-versioned, and parsing is strict: unknown
+keys, unknown component names, unknown backend names, and unsupported
+versions are rejected rather than ignored — a config that parses is a
+config that constructs.
 """
 
 from __future__ import annotations

@@ -209,23 +209,30 @@ class Linker:
         self,
         async_: bool = False,
         shards: Optional[int] = None,
+        shard_backend: Optional[str] = None,
         deadline_ms: float = 25.0,
         **overrides,
     ):
         """A ready serving frontend over this linker.
 
         Returns a :class:`~repro.serving.LinkingService` built from the
-        config's service section (``shards`` and any
+        config's service section (``shards``, ``shard_backend`` and any
         :class:`~repro.serving.ServiceConfig` field overriding it), or —
         with ``async_=True`` — an :class:`~repro.serving.AsyncLinkingService`
-        wrapping one under the ``deadline_ms`` budget.  Async services are
-        context managers; close them to drain the queue.
+        wrapping one under the ``deadline_ms`` budget.
+        ``shard_backend="process"`` fans candidate scoring out to
+        long-lived worker processes (one GIL per shard) instead of
+        threads — ``linker.serve(shards=4, shard_backend="process")``.
+        Async services are context managers; close them to drain the
+        queue.
         """
         from ..serving import AsyncLinkingService, LinkingService
 
         service_config = self._config.service
         if shards is not None:
             overrides["num_shards"] = shards
+        if shard_backend is not None:
+            overrides["shard_backend"] = shard_backend
         if overrides:
             service_config = replace(service_config, **overrides)
         service = LinkingService(self.pipeline, service_config)

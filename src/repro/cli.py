@@ -124,11 +124,43 @@ def _linker_config(args: argparse.Namespace, dataset_name: Optional[str] = None)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.api import Linker
+    from repro.api import Linker, LinkerConfig
     from repro.datasets import load_dataset
 
+    # Usage errors must surface before the (expensive) dataset build.
+    if args.config:
+        # A dumped LinkerConfig (repro config dump / Linker.save's
+        # linker.json) is the whole construction recipe; the per-field
+        # training flags describe a config, so mixing both is ambiguous —
+        # reject rather than silently ignore the flags.
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--variant", args.variant is not None),
+                ("--layers", args.layers is not None),
+                ("--epochs", args.epochs is not None),
+                ("--seed", args.seed != 0),
+                ("--fuzzy", args.fuzzy),
+                ("--no-hard-negatives", args.no_hard_negatives),
+                ("--no-augment", args.no_augment),
+            )
+            if given
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"--config already describes the whole linker; drop "
+                f"{', '.join(conflicting)} (or edit the config file)"
+            )
+        try:
+            with open(args.config, encoding="utf-8") as fh:
+                config = LinkerConfig.from_json(fh.read())
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.config}: {exc}") from None
+        except ValueError as exc:
+            raise SystemExit(f"{args.config}: {exc}") from None
+    else:
+        config = _linker_config(args)
     dataset = load_dataset(args.dataset, scale=args.scale, use_cache=False)
-    config = _linker_config(args)
     linker = Linker.from_config(config, dataset.kb)
     result = linker.fit(dataset.train, dataset.val, dataset.test)
     print(
@@ -259,6 +291,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             top_k=args.top_k,
             ref_cache_path=args.ref_cache,
             shards=args.shards,
+            shard_backend=args.shard_backend,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -527,6 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train an ED-GNN linker, optionally checkpoint it")
     p.add_argument("--dataset", required=True)
     p.add_argument("--variant", default=None, help="encoder variant (default: best per dataset)")
+    p.add_argument(
+        "--config",
+        default=None,
+        help="build from a dumped LinkerConfig JSON (repro config dump); "
+        "overrides the construction flags",
+    )
     p.add_argument("--out", default=None, help="checkpoint directory to write")
     p.add_argument(
         "--fuzzy",
@@ -587,6 +626,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="partition the KB into N shards and fan candidate scoring out",
+    )
+    p.add_argument(
+        "--shard-backend",
+        default=None,
+        choices=["thread", "process"],
+        help="shard scoring backend: in-process threads (default) or "
+        "long-lived worker processes (true parallelism, one GIL per shard)",
     )
     p.add_argument("--json", action="store_true")
     p.add_argument("--stats", action="store_true", help="print serving stats afterwards")

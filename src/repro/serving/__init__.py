@@ -9,6 +9,10 @@ and :class:`ServiceStats` telemetry.  On top of it,
 queue and forms micro-batches under a latency deadline, and
 :class:`ShardedKB` (``sharding``) partitions the KB and its embedding
 cache for fan-out candidate scoring (``ServiceConfig(num_shards=N)``).
+Sharded scoring runs on threads by default or — with
+``ServiceConfig(shard_backend="process")`` — on a
+:class:`ShardWorkerPool` (``workers``) of long-lived worker processes
+for true GIL-free parallelism; results are bit-identical either way.
 See ``examples/serving_quickstart.py`` and the ``repro serve`` CLI
 command.
 """
@@ -18,6 +22,12 @@ from .scheduler import AsyncLinkingService, DeadlineBatcher, QueuedRequest  # no
 from .service import LinkingService, ServiceConfig  # noqa: F401
 from .sharding import KBShard, ShardedKB  # noqa: F401
 from .stats import ServiceStats  # noqa: F401
+from .workers import (  # noqa: F401
+    SHARD_BACKENDS,
+    ShardWorkerError,
+    ShardWorkerPool,
+    resolve_shard_backend,
+)
 
 __all__ = [
     "LinkingService",
@@ -29,4 +39,8 @@ __all__ = [
     "QueuedRequest",
     "ShardedKB",
     "KBShard",
+    "ShardWorkerPool",
+    "ShardWorkerError",
+    "SHARD_BACKENDS",
+    "resolve_shard_backend",
 ]

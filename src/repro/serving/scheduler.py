@@ -19,7 +19,11 @@ Results are the same ``Prediction`` objects the sequential
 ``EDPipeline.disambiguate_snippet`` produces (the equivalence contract of
 the serving layer): compute is delegated to a ``LinkingService``, which
 may itself fan candidate scoring out across a
-:class:`~repro.serving.sharding.ShardedKB`.
+:class:`~repro.serving.sharding.ShardedKB` — on threads or, with
+``ServiceConfig(shard_backend="process")``, on the long-lived worker
+processes of a :class:`~repro.serving.workers.ShardWorkerPool`.
+``close()`` joins the batch worker before closing the service, so shard
+workers only shut down once every queued request has been served.
 
 Request latency (submit -> result) and queue wait (submit -> batch
 formed) are recorded into :class:`~repro.serving.stats.ServiceStats`,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
@@ -44,6 +44,7 @@ from ..text.corpus import Snippet
 from ..text.embedder import HashingNgramEmbedder
 from .cache import LRUCache
 from .stats import ServiceStats
+from .workers import SHARD_BACKENDS, default_shard_backend
 
 
 class MemoizingEmbedder:
@@ -88,12 +89,21 @@ class ServiceConfig:
     ref_cache_path: Optional[str] = None  # persist KB embeddings here
     num_shards: int = 1  # KB shards for fan-out candidate scoring
     shard_workers: Optional[int] = None  # worker threads (default: one per shard)
+    # Shard execution backend: "thread" (in-process pool) or "process"
+    # (long-lived forked workers, one GIL per shard).  Defaults to the
+    # REPRO_SHARD_BACKEND environment variable when set.
+    shard_backend: str = field(default_factory=default_shard_backend)
 
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard_backend {self.shard_backend!r}; "
+                f"options: {SHARD_BACKENDS}"
+            )
 
 
 class LinkingService:
@@ -196,6 +206,7 @@ class LinkingService:
             self.config.num_shards,
             ref_embeddings=h_ref,
             max_workers=self.config.shard_workers,
+            backend=self.config.shard_backend,
         )
 
     def _load_ref_cache(self, fingerprint: int) -> Optional[np.ndarray]:
@@ -223,7 +234,8 @@ class LinkingService:
         return self._sharded
 
     def close(self) -> None:
-        """Release shard worker threads (no-op when unsharded)."""
+        """Release shard workers — thread pool or worker processes
+        (no-op when unsharded)."""
         if self._sharded is not None:
             self._sharded.close()
 

@@ -14,13 +14,26 @@ Shard placement is arithmetic (owner ``id % N``, local row ``id // N``),
 which keeps the scatter O(candidates) with no lookup tables, and each
 shard carries a shard-local :class:`~repro.graph.hetero.HeteroGraph` view
 (``HeteroGraph.subgraph``, the columnar inverse of ``splice``) so a
-future process-based worker has the full node/edge context it would need
-to recompute embeddings locally.
+worker holding only its shard still has the full node/edge context.
+
+Two execution backends share the routing and the exact same scoring
+math (``backend=``, default ``"thread"``, overridable via the
+``REPRO_SHARD_BACKEND`` environment variable):
+
+* ``"thread"`` — a ``concurrent.futures`` thread pool in-process; cheap,
+  always available, but the per-shard numpy bookkeeping contends on the
+  GIL;
+* ``"process"`` — a :class:`~repro.serving.workers.ShardWorkerPool` of
+  long-lived worker processes, each shipped its pickled shard once at
+  startup; scoring requests carry only the micro-batch's query matrices
+  and id arrays, so N shards score on N independent GILs.  Falls back to
+  threads (with a warning) when the platform cannot fork or spawn.
 
 Embeddings are distributed warm-start: the full matrix is computed (or
 loaded from the persisted ref cache) once and sliced per shard —
 :meth:`ShardedKB.distribute` re-slices after a weight refresh without
-touching the shard views.
+touching the shard views, and pushes the fresh slices (plus the
+refreshed matcher state) to live process workers.
 """
 
 from __future__ import annotations
@@ -36,6 +49,14 @@ from ..autograd import Tensor, no_grad
 from ..core.pipeline import EDPipeline
 from ..core.query_graph import QueryGraph
 from ..graph.hetero import HeteroGraph
+from .workers import (
+    ScoreJob,
+    ScorerSpec,
+    ShardPayload,
+    ShardWorkerError,
+    ShardWorkerPool,
+    resolve_shard_backend,
+)
 
 
 @dataclass
@@ -82,11 +103,13 @@ class ShardedKB:
         num_shards: int,
         ref_embeddings: Optional[np.ndarray] = None,
         max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.pipeline = pipeline
         self.num_shards = num_shards
+        self.backend = resolve_shard_backend(backend)
         # Warm start: reuse an already-computed (or cache-loaded) matrix
         # instead of re-embedding the KB per shard.
         h_ref = pipeline.ref_embeddings() if ref_embeddings is None else np.asarray(ref_embeddings)
@@ -106,11 +129,57 @@ class ShardedKB:
                 )
             )
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ShardWorkerPool] = None
         if num_shards > 1:
-            workers = max_workers or min(num_shards, os.cpu_count() or 1)
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="kb-shard"
+            if self.backend == "process":
+                self._pool = self._build_pool()
+            if self._pool is None:
+                workers = max_workers or min(num_shards, os.cpu_count() or 1)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="kb-shard"
+                )
+        else:
+            # One shard scores inline — reporting "process" here would
+            # claim workers that do not exist.
+            self.backend = "thread"
+
+    def _build_pool(self) -> Optional[ShardWorkerPool]:
+        """Fork the long-lived shard workers, shipping each its pickled
+        shard (view + embedding slice + scorer state) once.  A startup
+        failure — fork/resource errors, a worker dying in its handshake,
+        an unpicklable payload — degrades to the thread backend instead
+        of taking the service down."""
+        import pickle
+        import warnings
+
+        scorer = ScorerSpec.from_model(self.pipeline.model)
+        payloads = [
+            ShardPayload(
+                index=shard.index,
+                num_shards=self.num_shards,
+                node_ids=shard.node_ids,
+                h_ref=shard.h_ref,
+                x_ref=shard.x_ref,
+                scorer=scorer,
+                view=shard.view,
             )
+            for shard in self.shards
+        ]
+        try:
+            return ShardWorkerPool(payloads)
+        # TypeError/AttributeError are what the pickler actually raises
+        # for unpicklable payload members ("cannot pickle '...' object").
+        except (
+            OSError, ShardWorkerError, pickle.PickleError, TypeError, AttributeError
+        ) as exc:
+            warnings.warn(
+                f"could not start process shard workers ({exc}); "
+                "falling back to threads",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.backend = "thread"
+            return None
 
     # ------------------------------------------------------------------
     # Routing
@@ -128,12 +197,19 @@ class ShardedKB:
     # ------------------------------------------------------------------
     def distribute(self, ref_embeddings: np.ndarray) -> None:
         """Re-slice a freshly computed full embedding matrix into the
-        shards (warm-start after a weight refresh; views are untouched)."""
+        shards (warm-start after a weight refresh; views are untouched).
+        Live process workers receive their fresh slice plus the current
+        matcher state over the pipe — no worker restart."""
         ref_embeddings = np.asarray(ref_embeddings)
         if ref_embeddings.shape[0] != self.pipeline.kb.num_nodes:
             raise ValueError("ref_embeddings rows must match the KB node count")
         for shard in self.shards:
             shard.h_ref = np.ascontiguousarray(ref_embeddings[shard.node_ids])
+        if self._pool is not None:
+            self._pool.distribute(
+                [shard.h_ref for shard in self.shards],
+                ScorerSpec.from_model(self.pipeline.model),
+            )
 
     # ------------------------------------------------------------------
     # Scoring
@@ -163,7 +239,30 @@ class ShardedKB:
                 continue
             tasks.append((positions, shard, query_ids[positions], ref_ids[positions] // self.num_shards))
 
-        if self._executor is None or len(tasks) <= 1:
+        if self._pool is not None:
+            # Process fan-out: the chunk references only a handful of
+            # distinct query rows (one mention node per graph), so ship
+            # just those rows — remapped parent-side — rather than the
+            # whole union embedding matrix; each worker gathers and
+            # scores against its resident shard on a private GIL.  Row
+            # selection is exact, so scores are unchanged.
+            unique_ids, remapped = np.unique(query_ids, return_inverse=True)
+            h_q = h_query.data[unique_ids]
+            x_q = x_query.data[unique_ids] if x_query is not None else None
+            jobs = [
+                ScoreJob(
+                    shard_index=shard.index,
+                    h_query=h_q,
+                    query_ids=remapped[positions],
+                    ref_ids=local_ids,
+                    x_query=x_q,
+                )
+                for positions, shard, _, local_ids in tasks
+            ]
+            parts = list(
+                zip([positions for positions, *_ in tasks], self._pool.score_many(jobs))
+            )
+        elif self._executor is None or len(tasks) <= 1:
             parts = [
                 (positions, self._score_on_shard(shard, h_query, q_ids, local_ids, x_query))
                 for positions, shard, q_ids, local_ids in tasks
@@ -220,6 +319,9 @@ class ShardedKB:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def __enter__(self) -> "ShardedKB":
         return self
@@ -227,6 +329,14 @@ class ShardedKB:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def worker_pool(self) -> Optional[ShardWorkerPool]:
+        """The process worker pool, or ``None`` on the thread backend."""
+        return self._pool
+
     def __repr__(self) -> str:
         sizes = "+".join(str(s.num_nodes) for s in self.shards)
-        return f"ShardedKB(num_shards={self.num_shards}, nodes={sizes})"
+        return (
+            f"ShardedKB(num_shards={self.num_shards}, "
+            f"backend={self.backend!r}, nodes={sizes})"
+        )

@@ -151,6 +151,30 @@ class TestLinkerConfigRoundTrip:
         loaded = LinkerConfig.from_json(config.to_json())
         assert loaded.service == config.service
 
+    def test_shard_backend_round_trips(self):
+        config = small_config(
+            service=ServiceConfig(num_shards=4, shard_backend="process")
+        )
+        loaded = LinkerConfig.from_json(config.to_json())
+        assert loaded.service.shard_backend == "process"
+        assert loaded.to_dict() == config.to_dict()
+
+    def test_unknown_shard_backend_rejected(self):
+        with pytest.raises(ValueError, match="shard_backend"):
+            ServiceConfig(shard_backend="fibers")
+        payload = small_config().to_dict()
+        payload["service"]["shard_backend"] = "fibers"
+        with pytest.raises(ValueError, match="shard_backend"):
+            LinkerConfig.from_dict(payload)
+
+    def test_shard_backend_env_default(self, monkeypatch):
+        from repro.serving.workers import SHARD_BACKEND_ENV
+
+        monkeypatch.setenv(SHARD_BACKEND_ENV, "process")
+        assert ServiceConfig().shard_backend == "process"
+        monkeypatch.delenv(SHARD_BACKEND_ENV)
+        assert ServiceConfig().shard_backend == "thread"
+
     def test_defaults_round_trip(self):
         config = LinkerConfig()
         assert LinkerConfig.from_json(config.to_json()).to_dict() == config.to_dict()
@@ -346,6 +370,18 @@ class TestLinkerServe:
         # The declarative config is untouched by per-call overrides.
         assert trained.config.service.max_batch_size == ServiceConfig().max_batch_size
         service.close()
+
+    def test_serve_shard_backend_override(self, trained):
+        service = trained.serve(shards=2, shard_backend="process", cache_size=0)
+        try:
+            assert service.config.num_shards == 2
+            assert service.config.shard_backend == "process"
+            # resolve_shard_backend may degrade to threads on platforms
+            # that cannot fork; either way the seam is plumbed through.
+            assert service.sharded is not None
+            assert service.sharded.backend in ("thread", "process")
+        finally:
+            service.close()
 
     def test_linking_service_accepts_linker(self, dataset, trained):
         from repro.serving import LinkingService

@@ -142,6 +142,27 @@ class TestServe:
         assert "serving stats:" in out
         assert "mentions_per_second" in out
 
+    def test_sharded_process_backend_split(self, checkpoint, capsys):
+        # --shard-backend process plumbs through Linker.serve into the
+        # ShardWorkerPool (degrading to threads only where fork/spawn is
+        # unavailable); results stay identical either way.
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--dataset", "NCBI",
+                "--scale", SCALE,
+                "--limit", "4",
+                "--batch-size", "4",
+                "--shards", "2",
+                "--shard-backend", "process",
+                "--json",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 4
+        assert all("candidates" in line for line in lines)
+
     def test_text_file_json(self, checkpoint, tmp_path, capsys):
         texts = tmp_path / "texts.txt"
         texts.write_text(SNIPPET_TEXT + "\n\n" + SNIPPET_TEXT + "\n")
@@ -295,6 +316,46 @@ class TestConfig:
 
     def test_checkpoint_is_self_describing(self, checkpoint):
         assert main(["config", "validate", os.path.join(checkpoint, "linker.json")]) == 0
+
+    def test_train_consumes_dumped_config(self, tmp_path, capsys):
+        # The ROADMAP's "repro train --config linker.json": a dumped
+        # LinkerConfig is the whole construction recipe for training.
+        path = str(tmp_path / "linker.json")
+        assert main(
+            ["config", "dump", "--variant", "graphsage", "--epochs", "2",
+             "--layers", "2", "--out", path]
+        ) == 0
+        out = str(tmp_path / "ckpt")
+        assert main(
+            ["train", "--dataset", "NCBI", "--scale", SCALE, "--config", path,
+             "--out", out]
+        ) == 0
+        assert "ED-GNN(graphsage)" in capsys.readouterr().out
+        # The checkpoint's linker.json carries the dumped config through.
+        with open(os.path.join(out, "linker.json"), encoding="utf-8") as fh:
+            saved = json.load(fh)
+        assert saved["model"]["variant"] == "graphsage"
+        assert saved["train"]["epochs"] == 2
+
+    def test_train_config_rejects_conflicting_flags(self, tmp_path):
+        # --config is the whole recipe; silently ignoring --variant etc.
+        # would train a different model than asked for.
+        path = str(tmp_path / "linker.json")
+        assert main(["config", "dump", "--variant", "graphsage", "--epochs", "2",
+                     "--out", path]) == 0
+        with pytest.raises(SystemExit, match="--variant"):
+            main(["train", "--dataset", "NCBI", "--scale", SCALE,
+                  "--config", path, "--variant", "gat"])
+
+    def test_train_config_must_parse(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(SystemExit, match="schema_version"):
+            main(["train", "--dataset", "NCBI", "--scale", SCALE,
+                  "--config", str(path)])
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["train", "--dataset", "NCBI", "--scale", SCALE,
+                  "--config", str(tmp_path / "nope.json")])
 
 
 class TestEvaluate:

@@ -3,10 +3,18 @@
 The deadline scheduler's policy (:class:`DeadlineBatcher`) is exercised
 with a fake clock — no wall-clock sleeps live in this module.  The shard
 equivalence property (sequential == 1-shard == N-shard predictions on a
-seeded dataset) and the async service's end-to-end contract run against
-a tiny trained pipeline.
+seeded dataset, for both the thread and process execution backends) and
+the async service's end-to-end contract run against a tiny trained
+pipeline.
+
+The CI shard matrix forces the backend and shard count via
+``REPRO_SHARD_BACKEND`` / ``REPRO_TEST_SHARDS``: tests that build a
+sharded service without naming a backend inherit the forced one through
+the ``ServiceConfig`` default, and ``env_shards`` swaps the forced shard
+count into the tests that would otherwise hardcode one.
 """
 
+import os
 from concurrent.futures import Future
 
 import numpy as np
@@ -26,6 +34,12 @@ from repro.serving import (
 
 SCALE = 0.2
 DEADLINE_S = 0.05
+
+
+def env_shards(default: int) -> int:
+    """Shard count for sharded-service tests: the CI matrix's
+    ``REPRO_TEST_SHARDS`` when set, else ``default``."""
+    return int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0) or default
 
 
 @pytest.fixture(scope="module")
@@ -167,11 +181,13 @@ class TestShardedKB:
         for local, global_id in enumerate(ids[:10]):
             assert view.node_name(int(local)) == kb.node_name(int(global_id))
 
-    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
-    def test_scores_identical_to_unsharded(self, pipeline, dataset, num_shards):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 5])
+    def test_scores_identical_to_unsharded(self, pipeline, dataset, num_shards, backend):
         # The shard-equivalence property: per-pair scoring makes any
-        # partition merge back to the exact unsharded score vector.
-        sharded = ShardedKB(pipeline, num_shards)
+        # partition merge back to the exact unsharded score vector —
+        # whether the shards score on threads or in worker processes.
+        sharded = ShardedKB(pipeline, num_shards, backend=backend)
         for snippet in dataset.test[:4]:
             qg = pipeline.build_query_graph_for(snippet)
             candidates = pipeline.candidate_ids(
@@ -240,7 +256,8 @@ class TestShardedService:
             pipeline, ServiceConfig(max_batch_size=8, cache_size=0)
         )
         sharded = LinkingService(
-            pipeline, ServiceConfig(max_batch_size=8, cache_size=0, num_shards=3)
+            pipeline,
+            ServiceConfig(max_batch_size=8, cache_size=0, num_shards=env_shards(3)),
         )
         try:
             for a, b in zip(
@@ -252,9 +269,41 @@ class TestShardedService:
             unsharded.close()
             sharded.close()
 
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_backend_property_identical_to_sequential(
+        self, pipeline, dataset, sequential, num_shards, backend
+    ):
+        # The acceptance property of the process backend: over 1/2/4
+        # shards and both execution backends, the sharded service matches
+        # EDPipeline.disambiguate_snippet (rankings exact, scores to
+        # float tolerance) and is bit-identical to the unsharded service
+        # (both sides of the comparison share the batched forward).
+        unsharded = LinkingService(
+            pipeline, ServiceConfig(max_batch_size=8, cache_size=0)
+        )
+        service = LinkingService(
+            pipeline,
+            ServiceConfig(
+                max_batch_size=8,
+                cache_size=0,
+                num_shards=num_shards,
+                shard_backend=backend,
+            ),
+        )
+        try:
+            predictions = service.link_batch(dataset.test)
+            assert_predictions_match(sequential, predictions)
+            for a, b in zip(unsharded.link_batch(dataset.test), predictions):
+                assert a.ranked_entities == b.ranked_entities
+                assert a.scores == b.scores  # bitwise across backends
+        finally:
+            unsharded.close()
+            service.close()
+
     def test_weight_refresh_redistributes(self, pipeline, dataset):
         service = LinkingService(
-            pipeline, ServiceConfig(cache_size=16, num_shards=2)
+            pipeline, ServiceConfig(cache_size=16, num_shards=env_shards(2))
         )
         try:
             service.link_batch(dataset.test[:2])
@@ -291,7 +340,8 @@ class TestAsyncLinkingService:
 
     def test_sharded_async_matches_sequential(self, pipeline, dataset, sequential):
         inner = LinkingService(
-            pipeline, ServiceConfig(max_batch_size=8, cache_size=0, num_shards=2)
+            pipeline,
+            ServiceConfig(max_batch_size=8, cache_size=0, num_shards=env_shards(2)),
         )
         with AsyncLinkingService(inner, deadline_ms=20.0) as service:
             assert_predictions_match(sequential, service.link_batch(dataset.test))
