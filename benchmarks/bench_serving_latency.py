@@ -9,8 +9,13 @@ not queueing overload, dominates what the scheduler does.  Reports:
 * p50/p95 end-to-end latency (submit -> result) and p95 queue wait
   (submit -> micro-batch formed) of the async path;
 * async vs sync throughput on the same stream;
+* an over-the-wire leg: the same stream through the HTTP front door
+  (:class:`repro.serving.LinkingHTTPServer` on an ephemeral port,
+  sequential ``LinkerClient.link`` per request plus one batched POST),
+  reporting wire p50/p95 and both throughputs;
 * ranking equivalence against the sequential
-  ``EDPipeline.disambiguate_snippet`` — the serving layer's contract.
+  ``EDPipeline.disambiguate_snippet`` — the serving layer's contract,
+  for the in-process *and* the HTTP path.
 
 Fails when any ranking differs, or when the p95 queue wait blows the
 configured ``--deadline-ms`` budget (plus the shared CI jitter slack):
@@ -28,11 +33,13 @@ import argparse
 import sys
 import time
 
+import numpy as np
+
 from _shared import SERVING_DEADLINE_JITTER_MS, update_bench_report
 from repro.api import Linker, LinkerConfig
 from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
-from repro.serving import AsyncLinkingService
+from repro.serving import AsyncLinkingService, LinkerClient
 
 
 def run(args: argparse.Namespace) -> int:
@@ -94,12 +101,47 @@ def run(args: argparse.Namespace) -> int:
     )
     budget_ms = args.deadline_ms + SERVING_DEADLINE_JITTER_MS
 
+    # Over-the-wire leg: the same stream through the HTTP front door.
+    # Sequential single-item POSTs measure per-request wire latency
+    # (HTTP framing + JSON + scheduler); one batched POST measures wire
+    # throughput.  Rankings must match the sequential baseline.
+    http_requests = min(len(stream), 32) if args.smoke else len(stream)
+    server = linker.serve(
+        http_port=0, deadline_ms=args.deadline_ms,
+        max_batch_size=args.batch_size, cache_size=0, top_k=args.top_k,
+    )
+    http_latencies = []
+    try:
+        with LinkerClient(port=server.port) as client:
+            for snippet in stream[:http_requests]:
+                t0 = time.perf_counter()
+                client.link(snippet=snippet, top_k=args.top_k)
+                http_latencies.append((time.perf_counter() - t0) * 1000.0)
+            t0 = time.perf_counter()
+            wire_batch = []
+            for i in range(0, len(stream), 256):  # HttpConfig.max_batch
+                wire_batch.extend(client.link_batch(stream[i:i + 256], top_k=args.top_k))
+            t_http_batch = time.perf_counter() - t0
+    finally:
+        server.close()
+    http_p50 = float(np.percentile(http_latencies, 50))
+    http_p95 = float(np.percentile(http_latencies, 95))
+    http_throughput = len(stream) / t_http_batch if t_http_batch > 0 else float("inf")
+    http_mismatches = sum(
+        a.ranked_entities != list(b.entity_ids)
+        for a, b in zip(sequential, wire_batch)
+    )
+
     print(f"sync batched   {len(stream) / t_sync:8.0f} mentions/s  ({t_sync:.3f}s)")
     print(f"async paced    {len(stream) / t_async:8.0f} mentions/s  ({t_async:.3f}s)")
+    print(f"http batched   {http_throughput:8.0f} mentions/s  ({t_http_batch:.3f}s)")
     print(f"latency        p50 {p50:7.1f} ms   p95 {p95:7.1f} ms")
+    print(f"http latency   p50 {http_p50:7.1f} ms   p95 {http_p95:7.1f} ms  "
+          f"({http_requests} sequential POSTs)")
     print(f"queue wait     p95 {wait_p95:7.1f} ms  (deadline {args.deadline_ms:.0f}ms)")
     print(f"batch sizes    mean {stats.mean_batch_size:.1f}  max {stats.max_batch_size}")
     print(f"equivalence    {len(stream) - mismatches}/{len(stream)} rankings identical")
+    print(f"http equiv     {len(stream) - http_mismatches}/{len(stream)} rankings identical")
 
     update_bench_report(
         args.report,
@@ -119,10 +161,18 @@ def run(args: argparse.Namespace) -> int:
             "queue_wait_budget_ms": budget_ms,
             "mean_batch_size": round(stats.mean_batch_size, 2),
             "ranking_mismatches": mismatches,
+            "http_requests": http_requests,
+            "http_latency_p50_ms": round(http_p50, 2),
+            "http_latency_p95_ms": round(http_p95, 2),
+            "http_mentions_per_s": round(http_throughput, 1),
+            "http_ranking_mismatches": http_mismatches,
         },
     )
     if mismatches:
         print(f"FAIL: {mismatches} async rankings differ from sequential")
+        return 1
+    if http_mismatches:
+        print(f"FAIL: {http_mismatches} over-the-wire rankings differ from sequential")
         return 1
     if wait_p95 > budget_ms:
         print(

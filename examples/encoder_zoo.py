@@ -26,7 +26,10 @@ def main() -> None:
     rows = []
     # Every registered encoder — including any added via
     # repro.api.register_encoder — trains under identical settings.
+    # (Baseline systems share the table but are not encoders; skip them.)
     for variant in ENCODERS.names():
+        if getattr(ENCODERS.get(variant), "baseline_cls", None) is not None:
+            continue
         start = time.perf_counter()
         pipeline = Linker.from_config(
             LinkerConfig(

@@ -8,7 +8,9 @@ components (candidate generator, NER, embedder — see
 :mod:`repro.api.registry`) and their kwargs.  The service section covers
 the full serving surface, shard execution backend included
 (``ServiceConfig(num_shards=4, shard_backend="process")`` declares a
-process-worker sharded service).  ``to_json``/``from_json`` round-trip
+process-worker sharded service) as well as the HTTP front door
+(``ServiceConfig(http=HttpConfig(port=8080))`` declares the server
+``Linker.serve(http_port=...)`` starts).  ``to_json``/``from_json`` round-trip
 exactly, the payload is schema-versioned, and parsing is strict: unknown
 keys, unknown component names, unknown backend names, and unsupported
 versions are rejected rather than ignored — a config that parses is a
@@ -22,6 +24,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from ..core.serialization import (
+    ensure_known_keys,
     model_config_from_dict,
     model_config_to_dict,
     train_config_from_dict,
@@ -104,6 +107,15 @@ class LinkerConfig:
                 raise ValueError(
                     f"unknown {registry.kind} {name!r}; options: {registry.names()}"
                 )
+        # Baseline systems live in the encoder table so `repro evaluate`
+        # dispatches through one registry, but they are pair classifiers
+        # a Linker cannot construct — a config that parses must construct.
+        if getattr(ENCODERS.get(self.model.variant), "baseline_cls", None) is not None:
+            raise ValueError(
+                f"{self.model.variant!r} is a baseline system, not a GNN "
+                f"encoder; train it through repro.eval.run_system / "
+                f"`repro evaluate --system {self.model.variant}`"
+            )
 
     def with_overrides(self, **changes) -> "LinkerConfig":
         """A copy with top-level fields replaced (frozen-safe)."""
@@ -140,9 +152,7 @@ class LinkerConfig:
                 f"unsupported LinkerConfig schema_version {version!r} "
                 f"(expected {CONFIG_SCHEMA_VERSION})"
             )
-        unknown = set(payload) - _TOP_LEVEL_KEYS
-        if unknown:
-            raise ValueError(f"unknown LinkerConfig keys: {sorted(unknown)}")
+        ensure_known_keys(payload, _TOP_LEVEL_KEYS, "LinkerConfig")
         kwargs: dict = {}
         if "model" in payload:
             kwargs["model"] = _nested_from_dict("model", payload["model"], model_config_from_dict)

@@ -210,7 +210,9 @@ class Linker:
         async_: bool = False,
         shards: Optional[int] = None,
         shard_backend: Optional[str] = None,
-        deadline_ms: float = 25.0,
+        deadline_ms: Optional[float] = None,
+        http_port: Optional[int] = None,
+        http_host: Optional[str] = None,
         **overrides,
     ):
         """A ready serving frontend over this linker.
@@ -219,14 +221,26 @@ class Linker:
         config's service section (``shards``, ``shard_backend`` and any
         :class:`~repro.serving.ServiceConfig` field overriding it), or —
         with ``async_=True`` — an :class:`~repro.serving.AsyncLinkingService`
-        wrapping one under the ``deadline_ms`` budget.
+        wrapping one under the ``deadline_ms`` budget (default 25 ms).
         ``shard_backend="process"`` fans candidate scoring out to
         long-lived worker processes (one GIL per shard) instead of
         threads — ``linker.serve(shards=4, shard_backend="process")``.
-        Async services are context managers; close them to drain the
-        queue.
+
+        ``http_port`` turns the frontend into a *started*
+        :class:`~repro.serving.LinkingHTTPServer` over the async service
+        (``http_port=0`` binds an ephemeral port, read back from
+        ``server.port``).  The config's ``service.http`` section supplies
+        the defaults; ``http_host`` / ``deadline_ms`` override it:
+
+            server = linker.serve(http_port=0)
+            with LinkerClient(port=server.port) as client:
+                client.link(text="...")
+            server.close()
+
+        Async services and HTTP servers are context managers; close them
+        to drain the queue.
         """
-        from ..serving import AsyncLinkingService, LinkingService
+        from ..serving import AsyncLinkingService, HttpConfig, LinkingHTTPServer, LinkingService
 
         service_config = self._config.service
         if shards is not None:
@@ -236,6 +250,20 @@ class Linker:
         if overrides:
             service_config = replace(service_config, **overrides)
         service = LinkingService(self.pipeline, service_config)
+        if http_port is not None:
+            base = service_config.http or HttpConfig()
+            http_config = replace(
+                base,
+                port=http_port,
+                host=http_host if http_host is not None else base.host,
+                deadline_ms=deadline_ms if deadline_ms is not None else base.deadline_ms,
+            )
+            async_service = AsyncLinkingService(
+                service, deadline_ms=http_config.deadline_ms
+            )
+            return LinkingHTTPServer(async_service, http_config).start()
         if async_:
-            return AsyncLinkingService(service, deadline_ms=deadline_ms)
+            return AsyncLinkingService(
+                service, deadline_ms=25.0 if deadline_ms is None else deadline_ms
+            )
         return service

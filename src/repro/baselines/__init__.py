@@ -1,8 +1,18 @@
 """Baseline systems of Section 4.2: DeepMatcher, NormCo and NCEL,
 re-implemented with the information restrictions the paper describes
 (text-only for the first two; untyped local structure for NCEL).
+
+The baselines are registered in the encoder table
+(:data:`repro.core.model.ENCODER_BUILDERS`, surfaced as
+``repro.api.registry.ENCODERS``) so ``repro evaluate --system NCEL``
+and the GNN variants dispatch through one registry.  They are pair
+classifiers, not GNN encoders, so the registered builder is a *marker*:
+it carries the baseline class as ``builder.baseline_cls`` for the
+evaluator, and raises if anything tries to construct it as an encoder
+(``LinkerConfig.validate`` rejects baseline variants up front).
 """
 
+from ..core.model import register_encoder
 from .base import (  # noqa: F401
     BaselineResult,
     PairBaseline,
@@ -21,6 +31,21 @@ BASELINES = {
     "NormCo": NormCo,
     "NCEL": NCEL,
 }
+
+
+def _register_baseline(name: str, cls) -> None:
+    def _not_an_encoder(config, schema, common):
+        raise ValueError(
+            f"{name!r} is a baseline system, not a GNN encoder: it trains "
+            f"through repro.eval.run_system / `repro evaluate --system {name}`"
+        )
+
+    _not_an_encoder.baseline_cls = cls
+    register_encoder(name, _not_an_encoder)
+
+
+for _name, _cls in BASELINES.items():
+    _register_baseline(_name, _cls)
 
 __all__ = [
     "PairBaseline",

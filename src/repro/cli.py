@@ -243,9 +243,10 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_snippet_line(linker, line: str, source: str):
+def _parse_snippet_line(linker, line: str):
     """One serve-input line: snippet JSONL if it parses, else raw text
-    pushed through the (simulated) NER."""
+    pushed through the (simulated) NER.  Raises ``ValueError`` on lines
+    that are neither."""
     from repro.text.corpus import Snippet
 
     try:
@@ -253,16 +254,22 @@ def _parse_snippet_line(linker, line: str, source: str):
     except json.JSONDecodeError:
         payload = None
     if isinstance(payload, dict) and "Text" in payload:
-        return Snippet.from_dict(payload)
-    try:
-        return linker.snippet_from_text(line)
-    except ValueError as exc:
-        raise SystemExit(f"{source}: {exc}: {line!r}") from None
+        try:
+            return Snippet.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad snippet JSON: {exc!r}") from None
+    return linker.snippet_from_text(line)
 
 
-def _iter_snippet_lines(linker, lines, source: str, limit: Optional[int]):
+def _iter_snippet_lines(linker, lines, source: str, limit: Optional[int], on_error=None):
     """Lazily parse non-empty input lines into snippets (stdin streaming
-    must not slurp the whole stream before the first batch runs)."""
+    must not slurp the whole stream before the first batch runs).
+
+    A line that parses as neither snippet JSON nor linkable text aborts
+    with a sited ``SystemExit`` — unless ``on_error(line, exc)`` is
+    given, in which case the bad line is reported and the stream
+    continues (the stdin-streaming contract: one bad record must not
+    kill a long-running pipe)."""
     count = 0
     for line in lines:
         if limit is not None and count >= limit:
@@ -270,15 +277,30 @@ def _iter_snippet_lines(linker, lines, source: str, limit: Optional[int]):
         line = line.strip()
         if not line:
             continue
-        yield _parse_snippet_line(linker, line, source)
+        try:
+            snippet = _parse_snippet_line(linker, line)
+        except ValueError as exc:
+            if on_error is None:
+                raise SystemExit(f"{source}: {exc}: {line!r}") from None
+            on_error(line, exc)
+            continue
+        yield snippet
         count += 1
+
+
+def _http_wait(server) -> None:
+    """Block the foreground ``repro serve --http`` process until the
+    server closes (tests monkeypatch this to return immediately)."""
+    server.wait()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Batched linking over a text file / snippet corpus / dataset split /
     stdin stream, through the :mod:`repro.serving` service.  ``--async``
-    routes requests through the deadline scheduler and ``--shards`` fans
-    candidate scoring across KB shards; surfaces ServiceStats."""
+    routes requests through the deadline scheduler, ``--shards`` fans
+    candidate scoring across KB shards, and ``--http PORT`` serves the
+    network front door instead of reading local input; surfaces
+    ServiceStats."""
     from repro.serving import AsyncLinkingService
 
     linker = _load_checkpoint(args.checkpoint)
@@ -295,6 +317,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+
+    if args.http is not None:
+        from repro.serving import HttpConfig, LinkingHTTPServer
+
+        try:
+            server = LinkingHTTPServer(
+                service,
+                HttpConfig(host=args.host, port=args.http, deadline_ms=args.deadline_ms),
+            )
+        except ValueError as exc:
+            service.close()
+            raise SystemExit(str(exc)) from None
+        try:
+            server.start()
+        except OSError as exc:
+            server.close()
+            raise SystemExit(f"cannot bind http://{args.host}:{args.http}: {exc}") from None
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+        try:
+            _http_wait(server)
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            server.close()
+        if args.stats:
+            print(server.stats.format(), flush=True)
+        return 0
+
     streaming = args.input == "-"
 
     def emit(prediction) -> None:
@@ -313,8 +363,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if streaming:
             # Incremental: results are flushed as each micro-batch lands,
             # so `repro serve --input - | head` behaves like a unix tool
-            # (BrokenPipeError is handled by main()).
-            snippets = _iter_snippet_lines(linker, sys.stdin, "stdin", args.limit)
+            # (BrokenPipeError is handled by main()).  A line that parses
+            # as neither snippet JSON nor linkable text becomes a
+            # structured ErrorResponse record instead of killing the pipe.
+            from repro.serving.wire import ErrorResponse
+
+            def report_bad_line(line, exc) -> None:
+                print(
+                    ErrorResponse("parse_error", str(exc), detail=line).to_json(),
+                    flush=True,
+                )
+
+            snippets = _iter_snippet_lines(
+                linker, sys.stdin, "stdin", args.limit, on_error=report_bad_line
+            )
             if args.use_async:
                 with AsyncLinkingService(service, deadline_ms=args.deadline_ms) as async_service:
                     for prediction in async_service.link_stream(snippets):
@@ -634,6 +696,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard scoring backend: in-process threads (default) or "
         "long-lived worker processes (true parallelism, one GIL per shard)",
     )
+    p.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the HTTP front door on PORT (0 binds an ephemeral "
+        "port) instead of reading local input; POST /link, "
+        "POST /link_stream, GET /healthz, GET /stats",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address for --http")
     p.add_argument("--json", action="store_true")
     p.add_argument("--stats", action="store_true", help="print serving stats afterwards")
     p.set_defaults(func=_cmd_serve)

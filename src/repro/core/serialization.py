@@ -31,6 +31,7 @@ __all__ = [
     "save_pipeline",
     "load_pipeline",
     "CHECKPOINT_FILES",
+    "ensure_known_keys",
     "model_config_to_dict",
     "model_config_from_dict",
     "train_config_to_dict",
@@ -42,6 +43,16 @@ __all__ = [
 CHECKPOINT_FILES = ("kb.json", "config.json", "weights.npz")
 
 _FORMAT_VERSION = 1
+
+
+def ensure_known_keys(payload: dict, allowed, where: str) -> None:
+    """Strict-parsing guard shared by the schema-versioned payloads
+    (:class:`~repro.api.LinkerConfig`, the serving wire format): reject
+    unknown keys instead of ignoring them, so a typo'd field fails loudly
+    rather than silently falling back to a default."""
+    unknown = set(payload) - set(allowed)
+    if unknown:
+        raise ValueError(f"unknown {where} keys: {sorted(unknown)}")
 
 
 def schedule_to_dict(schedule: CurriculumSchedule) -> dict:

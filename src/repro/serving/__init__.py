@@ -13,15 +13,33 @@ Sharded scoring runs on threads by default or — with
 ``ServiceConfig(shard_backend="process")`` — on a
 :class:`ShardWorkerPool` (``workers``) of long-lived worker processes
 for true GIL-free parallelism; results are bit-identical either way.
-See ``examples/serving_quickstart.py`` and the ``repro serve`` CLI
-command.
+
+The network front door is :class:`LinkingHTTPServer` (``http``): an
+asyncio + stdlib HTTP server over the async service speaking the typed,
+schema-versioned wire format of ``wire`` (:class:`LinkRequest`,
+:class:`LinkResponse`, :class:`ErrorResponse`), with
+:class:`LinkerClient` (``client``) as the matching stdlib client.
+See ``examples/serving_quickstart.py``, ``examples/http_quickstart.py``
+and the ``repro serve`` CLI command (``repro serve --http PORT``).
 """
 
 from .cache import LRUCache  # noqa: F401
+from .client import LinkerClient, LinkerClientError  # noqa: F401
+from .http import LinkingHTTPServer  # noqa: F401
 from .scheduler import AsyncLinkingService, DeadlineBatcher, QueuedRequest  # noqa: F401
-from .service import LinkingService, ServiceConfig  # noqa: F401
+from .service import HttpConfig, LinkingService, ServiceConfig  # noqa: F401
 from .sharding import KBShard, ShardedKB  # noqa: F401
 from .stats import ServiceStats  # noqa: F401
+from .wire import (  # noqa: F401
+    WIRE_SCHEMA_VERSION,
+    ErrorResponse,
+    LinkItem,
+    LinkRequest,
+    LinkResponse,
+    WireError,
+    WirePrediction,
+    parse_stream_line,
+)
 from .workers import (  # noqa: F401
     SHARD_BACKENDS,
     ShardWorkerError,
@@ -32,6 +50,7 @@ from .workers import (  # noqa: F401
 __all__ = [
     "LinkingService",
     "ServiceConfig",
+    "HttpConfig",
     "ServiceStats",
     "LRUCache",
     "AsyncLinkingService",
@@ -43,4 +62,15 @@ __all__ = [
     "ShardWorkerError",
     "SHARD_BACKENDS",
     "resolve_shard_backend",
+    "LinkingHTTPServer",
+    "LinkerClient",
+    "LinkerClientError",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "LinkItem",
+    "LinkRequest",
+    "LinkResponse",
+    "WirePrediction",
+    "ErrorResponse",
+    "parse_stream_line",
 ]

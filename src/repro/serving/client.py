@@ -1,0 +1,166 @@
+"""A stdlib client for the HTTP front door (:mod:`repro.serving.http`).
+
+:class:`LinkerClient` speaks the typed wire schema over
+``http.client.HTTPConnection`` — no dependencies, same strict parsing as
+the server.  Non-2xx responses raise :class:`LinkerClientError` carrying
+the decoded :class:`~repro.serving.wire.ErrorResponse` so callers can
+branch on the machine-readable ``code`` (``draining``,
+``payload_too_large``, ...).
+
+    with LinkerClient(port=server.port) as client:
+        prediction = client.link(text="... spinal hyperplasia ...")
+        batch = client.link_batch(["text a", "text b"], top_k=3)
+        for result in client.link_stream(snippets):
+            ...
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterable, Iterator, List, Optional, Union
+
+from ..text.corpus import Snippet
+from .wire import (
+    ErrorResponse,
+    LinkItem,
+    LinkRequest,
+    LinkResponse,
+    WirePrediction,
+    parse_stream_line,
+)
+
+__all__ = ["LinkerClient", "LinkerClientError"]
+
+#: anything `link_batch` / `link_stream` can normalise into a LinkItem
+ItemLike = Union[str, Snippet, LinkItem]
+
+
+class LinkerClientError(RuntimeError):
+    """A non-2xx server response; ``error`` is the decoded body when the
+    server sent a structured :class:`ErrorResponse` (None otherwise)."""
+
+    def __init__(self, status: int, error: Optional[ErrorResponse], raw: bytes = b""):
+        message = error.message if error is not None else raw.decode("utf-8", "replace")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.error = error
+
+
+def _as_item(item: ItemLike) -> LinkItem:
+    if isinstance(item, LinkItem):
+        return item
+    if isinstance(item, Snippet):
+        return LinkItem(snippet=item)
+    if isinstance(item, str):
+        return LinkItem(text=item)
+    raise TypeError(f"cannot make a link item from {type(item).__name__}")
+
+
+class LinkerClient:
+    """Client for one :class:`~repro.serving.http.LinkingHTTPServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[bytes] = None,
+                 headers: Optional[dict] = None):
+        headers = dict(headers or {})
+        if body is not None:
+            headers.setdefault("Content-Type", "application/json")
+        self._conn.request(method, path, body=body, headers=headers)
+        return self._conn.getresponse()
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None,
+              headers: Optional[dict] = None) -> dict:
+        response = self._request(method, path, body, headers)
+        raw = response.read()
+        if not 200 <= response.status < 300:
+            raise LinkerClientError(response.status, _decode_error(raw), raw)
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness payload; raises :class:`LinkerClientError` with
+        ``code="draining"`` once the server refuses new work."""
+        return self._json("GET", "/healthz")
+
+    def stats(self, prometheus: bool = False):
+        """Server-side :class:`ServiceStats` — the ``to_dict()`` payload,
+        or the Prometheus text exposition when ``prometheus=True``."""
+        if not prometheus:
+            return self._json("GET", "/stats")["stats"]
+        response = self._request("GET", "/stats", headers={"Accept": "text/plain"})
+        raw = response.read()
+        if response.status != 200:
+            raise LinkerClientError(response.status, _decode_error(raw), raw)
+        return raw.decode("utf-8")
+
+    def link(
+        self,
+        text: Optional[str] = None,
+        mention: Optional[str] = None,
+        snippet: Optional[Snippet] = None,
+        top_k: Optional[int] = None,
+    ) -> WirePrediction:
+        """Link one mention: raw ``text`` (+ optional ``mention`` surface)
+        or a full ``snippet``."""
+        item = LinkItem(text=text, mention=mention, snippet=snippet)
+        return self.link_batch([item], top_k=top_k)[0]
+
+    def link_batch(
+        self, items: Iterable[ItemLike], top_k: Optional[int] = None
+    ) -> List[WirePrediction]:
+        """``POST /link``: one prediction per item, in item order,
+        bit-identical to ``LinkingService.link_batch`` on the server."""
+        request = LinkRequest(
+            items=tuple(_as_item(item) for item in items), top_k=top_k
+        )
+        payload = self._json("POST", "/link", request.to_json().encode())
+        return list(LinkResponse.from_dict(payload).predictions)
+
+    def link_stream(
+        self, items: Iterable[ItemLike]
+    ) -> Iterator[Union[WirePrediction, ErrorResponse]]:
+        """``POST /link_stream``: yields one result per input line as the
+        server flushes them — a prediction, or an
+        :class:`ErrorResponse` for lines the server could not parse."""
+        body = b"".join(
+            json.dumps(_as_item(item).to_dict()).encode() + b"\n" for item in items
+        )
+        response = self._request(
+            "POST", "/link_stream", body, {"Content-Type": "application/x-ndjson"}
+        )
+        if response.status != 200:
+            raw = response.read()
+            raise LinkerClientError(response.status, _decode_error(raw), raw)
+        for line in response:
+            line = line.strip()
+            if line:
+                yield parse_stream_line(line)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "LinkerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _decode_error(raw: bytes) -> Optional[ErrorResponse]:
+    try:
+        return ErrorResponse.from_json(raw)
+    except ValueError:
+        return None

@@ -78,6 +78,34 @@ class MemoizingEmbedder:
         return np.stack([self.embed(t) for t in texts])
 
 
+@dataclass(frozen=True)
+class HttpConfig:
+    """The network endpoint of the HTTP front door
+    (:class:`~repro.serving.http.LinkingHTTPServer`).
+
+    Lives inside :class:`ServiceConfig` as the optional ``http`` section,
+    so a :class:`~repro.api.LinkerConfig` JSON can declare a fully
+    network-served linker; the round trip is strict and exact like every
+    other config section.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 binds an ephemeral port (see server.port)
+    max_batch: int = 256  # items per /link request; more is a 413
+    max_body_bytes: int = 4 * 1024 * 1024  # request body cap; more is a 413
+    deadline_ms: float = 25.0  # scheduler budget of the wrapped async service
+
+    def __post_init__(self):
+        if not (0 <= self.port <= 65535):
+            raise ValueError("http port must be in [0, 65535]")
+        if self.max_batch < 1:
+            raise ValueError("http max_batch must be >= 1")
+        if self.max_body_bytes < 1024:
+            raise ValueError("http max_body_bytes must be >= 1024")
+        if self.deadline_ms <= 0:
+            raise ValueError("http deadline_ms must be > 0")
+
+
 @dataclass
 class ServiceConfig:
     """Knobs of the linking service."""
@@ -93,6 +121,10 @@ class ServiceConfig:
     # (long-lived forked workers, one GIL per shard).  Defaults to the
     # REPRO_SHARD_BACKEND environment variable when set.
     shard_backend: str = field(default_factory=default_shard_backend)
+    # Optional network front door (repro.serving.http); a dict — the shape
+    # dataclasses.asdict and the LinkerConfig JSON round trip produce — is
+    # strictly coerced into an HttpConfig.
+    http: Optional[HttpConfig] = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -104,6 +136,13 @@ class ServiceConfig:
                 f"unknown shard_backend {self.shard_backend!r}; "
                 f"options: {SHARD_BACKENDS}"
             )
+        if isinstance(self.http, dict):
+            try:
+                self.http = HttpConfig(**self.http)
+            except TypeError as exc:
+                raise ValueError(f"bad http section in ServiceConfig: {exc}") from None
+        elif self.http is not None and not isinstance(self.http, HttpConfig):
+            raise ValueError("ServiceConfig http must be an HttpConfig (or its dict form)")
 
 
 class LinkingService:

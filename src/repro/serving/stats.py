@@ -136,6 +136,53 @@ class ServiceStats:
             lines.append(f"  {key.ljust(width)}  {value}")
         return "\n".join(lines)
 
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition of the counters, served by the HTTP
+        front door's ``GET /stats`` under ``Accept: text/plain``."""
+        counters = [
+            ("requests_total", self.requests, "link_batch / link_texts calls"),
+            ("mentions_total", self.mentions, "mentions linked (cached + computed)"),
+            ("cache_hits_total", self.cache_hits, "result cache hits"),
+            ("cache_misses_total", self.cache_misses, "result cache misses"),
+            ("batches_total", self.batches, "micro-batch forward passes"),
+            ("ref_refreshes_total", self.ref_refreshes, "reference-embedding rebuilds"),
+            ("compute_seconds_total", self.compute_seconds, "wall time in batched forwards"),
+        ]
+        gauges = [
+            ("cache_hit_rate", self.cache_hit_rate, "result cache hit rate"),
+            ("mean_batch_size", self.mean_batch_size, "mean micro-batch size"),
+            ("mentions_per_second", self.mentions_per_second, "compute-path throughput"),
+        ]
+        lines: List[str] = []
+        for name, value, help_text in counters:
+            lines += [
+                f"# HELP {prefix}_{name} {help_text}",
+                f"# TYPE {prefix}_{name} counter",
+                f"{prefix}_{name} {value}",
+            ]
+        for name, value, help_text in gauges:
+            lines += [
+                f"# HELP {prefix}_{name} {help_text}",
+                f"# TYPE {prefix}_{name} gauge",
+                f"{prefix}_{name} {value}",
+            ]
+        for name, percentile_of in (
+            ("request_latency_ms", self.latency_percentile),
+            ("queue_wait_ms", self.queue_wait_percentile),
+        ):
+            lines += [
+                f"# HELP {prefix}_{name} async request timing (sliding window)",
+                f"# TYPE {prefix}_{name} summary",
+            ]
+            if self.latencies_ms:
+                for quantile in (0.5, 0.95):
+                    lines.append(
+                        f'{prefix}_{name}{{quantile="{quantile}"}} '
+                        f"{percentile_of(quantile * 100)}"
+                    )
+            lines.append(f"{prefix}_{name}_count {len(self.latencies_ms)}")
+        return "\n".join(lines) + "\n"
+
     def reset(self) -> None:
         self.requests = 0
         self.mentions = 0

@@ -141,6 +141,8 @@ class TestLinkerConfigRoundTrip:
 
     def test_every_encoder_variant(self):
         for variant in ENCODERS.names():
+            if getattr(ENCODERS.get(variant), "baseline_cls", None) is not None:
+                continue  # baseline systems are not constructible encoders
             config = LinkerConfig(model=ModelConfig(variant=variant))
             assert LinkerConfig.from_json(config.to_json()).to_dict() == config.to_dict()
 
@@ -178,6 +180,31 @@ class TestLinkerConfigRoundTrip:
     def test_defaults_round_trip(self):
         config = LinkerConfig()
         assert LinkerConfig.from_json(config.to_json()).to_dict() == config.to_dict()
+
+    def test_http_section_round_trips(self):
+        from repro.serving import HttpConfig
+
+        config = small_config(
+            service=ServiceConfig(
+                max_batch_size=8,
+                http=HttpConfig(host="0.0.0.0", port=9090, max_batch=64),
+            )
+        )
+        loaded = LinkerConfig.from_json(config.to_json())
+        assert loaded.service.http == config.service.http
+        assert loaded.to_dict() == config.to_dict()
+
+    def test_bad_http_section_rejected(self):
+        from repro.serving import HttpConfig
+
+        with pytest.raises(ValueError, match="port"):
+            HttpConfig(port=70000)
+        with pytest.raises(ValueError, match="max_body_bytes"):
+            HttpConfig(max_body_bytes=16)
+        payload = small_config().to_dict()
+        payload["service"]["http"] = {"port": 8080, "bogus": 1}
+        with pytest.raises(ValueError, match="bad http section"):
+            LinkerConfig.from_dict(payload)
 
 
 class TestLinkerConfigRejection:
@@ -243,6 +270,16 @@ class TestLinkerConfigRejection:
         payload["candidate_generator"] = ["exact"]
         with pytest.raises(ValueError, match="must be a component name"):
             LinkerConfig.from_dict(payload)
+
+    def test_baseline_variant_rejected(self):
+        # Baselines live in the encoder registry (one lookup table for
+        # every system) but are not constructible GNN encoders: the
+        # variant parses at the ModelConfig level yet a LinkerConfig —
+        # a promise that Linker.from_config works — must refuse it.
+        model = ModelConfig(variant="NCEL")
+        assert model.variant == "NCEL"
+        with pytest.raises(ValueError, match="baseline system"):
+            LinkerConfig(model=model)
 
 
 class TestLinkerConstruction:

@@ -78,6 +78,30 @@ class TestRegistry:
     def test_all_baselines_registered(self):
         assert set(BASELINES) == {"DeepMatcher", "NormCo", "NCEL"}
 
+    def test_baselines_in_encoder_registry(self):
+        # One lookup table for every system: baselines appear next to the
+        # GNN variants, carrying their class on the marker builder.
+        from repro.api import ENCODERS
+        from repro.core.model import encoder_names
+
+        for name, cls in BASELINES.items():
+            assert name in encoder_names()
+            assert getattr(ENCODERS.get(name), "baseline_cls", None) is cls
+
+    def test_baseline_marker_refuses_encoder_construction(self):
+        from repro.api import ENCODERS
+        from repro.core import ModelConfig
+
+        builder = ENCODERS.get("NormCo")
+        with pytest.raises(ValueError, match="baseline system"):
+            builder(ModelConfig(variant="NormCo"), None, None)
+
+    def test_unknown_system_error_lists_baselines(self):
+        from repro.eval import run_system
+
+        with pytest.raises(ValueError, match="unknown system 'nope'.*NCEL"):
+            run_system("NCBI", "nope", scale=0.2, epochs=1)
+
     def test_normco_requires_matching_dims(self, dataset):
         with pytest.raises(ValueError):
             NormCo(dataset.kb, token_dim=32, hidden_dim=64)

@@ -232,6 +232,61 @@ class TestServe:
         assert stats["mentions"] == 2
         assert "latency_p95_ms" in stats and "queue_wait_p95_ms" in stats
 
+    def test_stdin_bad_line_emits_error_record(self, checkpoint, capsys, monkeypatch):
+        # One unparseable line must not kill a long-running pipe: it
+        # becomes a structured ErrorResponse record and the stream goes on.
+        import io
+
+        bad_snippet = json.dumps({"Text": "snippet json missing keys"})
+        stream = "\n".join([SNIPPET_TEXT, bad_snippet, "xqzt gibberish", SNIPPET_TEXT])
+        monkeypatch.setattr("sys.stdin", io.StringIO(stream + "\n"))
+        assert main(
+            ["serve", "--checkpoint", checkpoint, "--input", "-", "--json",
+             "--batch-size", "1"]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        predictions = [line for line in lines if "candidates" in line]
+        errors = [line for line in lines if line.get("code") == "parse_error"]
+        assert len(predictions) == 2
+        assert len(errors) == 2
+        assert errors[0]["schema_version"] == 1
+        assert errors[0]["detail"] == bad_snippet
+
+    def test_file_input_bad_line_still_aborts(self, checkpoint, tmp_path):
+        # Outside the streaming mode a bad line is a usage error: the
+        # file is all there up front, so fail loudly instead of skipping.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"Text": "x"}) + "\n")
+        with pytest.raises(SystemExit, match="bad snippet JSON"):
+            main(["serve", "--checkpoint", checkpoint, "--input", str(bad)])
+
+    def test_http_mode(self, checkpoint, capsys, monkeypatch):
+        # --http swaps local input for the network front door; the
+        # foreground wait is monkeypatched into a client-driven session.
+        from repro.serving import LinkerClient
+
+        seen = {}
+
+        def drive(server):
+            with LinkerClient(port=server.port) as client:
+                seen["health"] = client.healthz()["status"]
+                seen["prediction"] = client.link(text=SNIPPET_TEXT, top_k=2)
+
+        monkeypatch.setattr("repro.cli._http_wait", drive)
+        assert main(
+            ["serve", "--checkpoint", checkpoint, "--http", "0", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        assert "serving stats:" in out
+        assert seen["health"] == "ok"
+        assert 1 <= len(seen["prediction"].entity_ids) <= 2
+        assert len(seen["prediction"].entity_names) == len(seen["prediction"].entity_ids)
+
+    def test_http_rejects_bad_port(self, checkpoint):
+        with pytest.raises(SystemExit, match="port"):
+            main(["serve", "--checkpoint", checkpoint, "--http", "70000"])
+
     def test_async_matches_sync_on_split(self, checkpoint, capsys):
         argv = [
             "serve",
