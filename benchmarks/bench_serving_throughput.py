@@ -17,6 +17,13 @@ records the thread-vs-process speedup.  In non-smoke runs on a
 multi-core host the process backend must beat the thread backend by the
 ``PROCESS_SHARD_SPEEDUP_FLOOR`` from ``benchmarks/_shared.py``.
 
+A fifth, **startup** leg times process-worker startup and meters the
+payload bytes written to the command pipes with arena-published
+shared-memory payloads vs the classic pickled ship, and fails when the
+arena's saving over the pickled path is smaller than the matrices' own
+nbytes — i.e. when matrix slices are still crossing the pipes (the byte
+contract is deterministic, so it is enforced in smoke too).
+
 Also asserts batch-vs-sequential ranking equivalence on the stream (all
 backends), so a serving regression fails the bench rather than silently
 skewing numbers.
@@ -64,6 +71,37 @@ def _time_sharded(linker, stream, backend, shards, batch_size):
     finally:
         service.close()
     return elapsed, [p.ranked_entities for p in predictions]
+
+
+def _time_startup(linker, shards, batch_size, share_payloads):
+    """Startup cost of the process shard backend: construction wall time
+    plus the payload bytes actually written to the worker command pipes
+    (arena mode ships shared-memory descriptors; the pickled path ships
+    the matrices themselves).  Returns None when the platform cannot run
+    process workers."""
+    from repro.storage import StorageConfig
+
+    t0 = time.perf_counter()
+    service = linker.serve(
+        max_batch_size=batch_size,
+        cache_size=0,
+        shards=shards,
+        shard_backend="process",
+        storage=StorageConfig(share_payloads=share_payloads),
+    )
+    elapsed = time.perf_counter() - t0
+    try:
+        pool = service.sharded.worker_pool if service.sharded else None
+        if pool is None:
+            return None
+        return {
+            "seconds": round(elapsed, 4),
+            "ship_bytes": pool.payload_ship_bytes,
+            "matrix_nbytes": pool.payload_matrix_nbytes,
+            "arena": pool.arena is not None,
+        }
+    finally:
+        service.close()
 
 
 def run(args: argparse.Namespace) -> int:
@@ -123,6 +161,12 @@ def run(args: argparse.Namespace) -> int:
     process_speedup = t_thread / t_process if t_process > 0 else float("inf")
     cpus = os.cpu_count() or 1
 
+    # Startup-cost leg: what worker startup ships over the pipes, arena
+    # (shared-memory descriptors) vs the classic pickled payloads.  The
+    # byte assertion is deterministic, so it holds in smoke mode too.
+    startup_arena = _time_startup(linker, args.shards, args.batch_size, True)
+    startup_pickled = _time_startup(linker, args.shards, args.batch_size, False)
+
     print(f"sequential     {len(stream) / t_seq:8.0f} mentions/s  ({t_seq:.3f}s)")
     print(f"batched        {len(stream) / t_batch:8.0f} mentions/s  ({t_batch:.3f}s)  {speedup:.2f}x")
     print(f"batched+cache  {len(stream) / t_cached:8.0f} mentions/s  ({t_cached:.3f}s)  {cached_speedup:.2f}x")
@@ -134,6 +178,17 @@ def run(args: argparse.Namespace) -> int:
         f"  processes    {len(shard_stream) / t_process:8.0f} mentions/s  "
         f"({t_process:.3f}s)  {process_speedup:.2f}x vs threads"
     )
+    if startup_arena and startup_pickled:
+        print(f"startup x{args.shards} process workers (payload ship):")
+        print(
+            f"  arena        {startup_arena['seconds']:.3f}s  "
+            f"{startup_arena['ship_bytes']} B over pipes "
+            f"(matrices {startup_arena['matrix_nbytes']} B)"
+        )
+        print(
+            f"  pickled      {startup_pickled['seconds']:.3f}s  "
+            f"{startup_pickled['ship_bytes']} B over pipes"
+        )
     print(f"equivalence    {len(stream) - mismatches}/{len(stream)} rankings identical")
     print(cached_service.stats.format())
 
@@ -164,6 +219,8 @@ def run(args: argparse.Namespace) -> int:
             "process_speedup_floor": PROCESS_SHARD_SPEEDUP_FLOOR,
             "process_speedup_enforced": guard_process,
             "shard_ranking_mismatches": shard_mismatches,
+            "startup_arena": startup_arena,
+            "startup_pickled": startup_pickled,
         },
     )
     if mismatches:
@@ -184,6 +241,20 @@ def run(args: argparse.Namespace) -> int:
             f"{PROCESS_SHARD_SPEEDUP_FLOOR}x floor at {args.shards} shards"
         )
         return 1
+    # The arena contract is about bytes, not seconds, so it holds at any
+    # scale: relative to the pickled path — which ships the same scorer
+    # state — arena startup must save at least the matrices' own nbytes
+    # (the embedding/feature slices it no longer pickles into the pipes).
+    if startup_arena and startup_pickled and startup_arena["arena"]:
+        saved = startup_pickled["ship_bytes"] - startup_arena["ship_bytes"]
+        if saved < startup_arena["matrix_nbytes"]:
+            print(
+                f"FAIL: arena startup saved only {saved} B over the pickled "
+                f"path; the matrices alone are "
+                f"{startup_arena['matrix_nbytes']} B, so slices are still "
+                "being shipped"
+            )
+            return 1
     print("OK")
     return 0
 

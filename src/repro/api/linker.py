@@ -210,6 +210,7 @@ class Linker:
         async_: bool = False,
         shards: Optional[int] = None,
         shard_backend: Optional[str] = None,
+        storage=None,
         deadline_ms: Optional[float] = None,
         http_port: Optional[int] = None,
         http_host: Optional[str] = None,
@@ -225,6 +226,14 @@ class Linker:
         ``shard_backend="process"`` fans candidate scoring out to
         long-lived worker processes (one GIL per shard) instead of
         threads — ``linker.serve(shards=4, shard_backend="process")``.
+
+        ``storage`` picks where the KB matrices live
+        (:class:`~repro.storage.StorageConfig`, its dict form, or just a
+        backend name) — ``linker.serve(storage="mmap")`` serves both
+        matrices as read-only memory maps of a packed bundle, and
+        ``storage=StorageConfig(kb_store="mmap", bundle_path=...)``
+        reuses a ``repro kb pack`` bundle so startup skips the embedding
+        forward entirely.
 
         ``http_port`` turns the frontend into a *started*
         :class:`~repro.serving.LinkingHTTPServer` over the async service
@@ -247,6 +256,19 @@ class Linker:
             overrides["num_shards"] = shards
         if shard_backend is not None:
             overrides["shard_backend"] = shard_backend
+        if storage is not None:
+            from ..storage import StorageConfig
+
+            if isinstance(storage, str):
+                storage = StorageConfig(kb_store=storage)
+            elif isinstance(storage, dict):
+                storage = StorageConfig(**storage)
+            elif not isinstance(storage, StorageConfig):
+                raise ValueError(
+                    "storage must be a StorageConfig, its dict form, "
+                    "or a backend name"
+                )
+            overrides["storage"] = storage
         if overrides:
             service_config = replace(service_config, **overrides)
         service = LinkingService(self.pipeline, service_config)

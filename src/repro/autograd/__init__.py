@@ -37,7 +37,15 @@ from .ops import (  # noqa: F401
 from .optim import SGD, Adam, Optimizer, clip_grad_norm  # noqa: F401
 from .rnn import GRU, GRUCell, SequenceEncoder  # noqa: F401
 from .serialization import load_state, save_state, state_allclose  # noqa: F401
-from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros  # noqa: F401
+from .tensor import (  # noqa: F401
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    tensor,
+    zeros,
+)
 
 __all__ = [
     "Tensor",
@@ -45,6 +53,7 @@ __all__ = [
     "zeros",
     "ones",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
     "functional",
     "Module",

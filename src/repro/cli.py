@@ -307,6 +307,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.deadline_ms <= 0:
             raise ValueError("--deadline-ms must be > 0")
+        storage = None
+        kb_store = args.kb_store
+        if kb_store is None and args.kb_bundle is not None:
+            kb_store = "mmap"  # a bundle path implies the mmap backend
+        if kb_store is not None:
+            from repro.storage import StorageConfig
+
+            storage = StorageConfig(kb_store=kb_store, bundle_path=args.kb_bundle)
         service = linker.serve(
             max_batch_size=args.batch_size,
             cache_size=args.cache_size,
@@ -314,6 +322,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ref_cache_path=args.ref_cache,
             shards=args.shards,
             shard_backend=args.shard_backend,
+            storage=storage,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -424,6 +433,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             print(flush=streaming)
             print(service.stats.format(), flush=streaming)
+    return 0
+
+
+def _cmd_kb_pack(args: argparse.Namespace) -> int:
+    """Build an mmap KB bundle from a checkpoint: the feature matrix and
+    (unless ``--no-embeddings``) the reference-embedding matrix as plain
+    ``.npy`` files plus a fingerprinted manifest, ready for
+    ``repro serve --kb-store mmap --kb-bundle DIR`` to memory-map —
+    startup then skips the embedding forward entirely."""
+    from repro.storage import pack_bundle
+
+    linker = _load_checkpoint(args.checkpoint)
+    manifest = pack_bundle(
+        linker.pipeline, args.out, embeddings=not args.no_embeddings
+    )
+    if args.json:
+        print(json.dumps({"bundle": args.out, "manifest": manifest}))
+    else:
+        features = manifest["features"]
+        print(f"packed KB bundle at {args.out}")
+        print(f"  features  {tuple(features['shape'])} {features['dtype']}")
+        if manifest["h_ref"] is not None:
+            h_ref = manifest["h_ref"]
+            print(
+                f"  h_ref     {tuple(h_ref['shape'])} {h_ref['dtype']} "
+                f"(fingerprint {h_ref['fingerprint']})"
+            )
+        else:
+            print("  h_ref     (not packed; serve computes it on startup)")
     return 0
 
 
@@ -705,10 +743,42 @@ def build_parser() -> argparse.ArgumentParser:
         "port) instead of reading local input; POST /link, "
         "POST /link_stream, GET /healthz, GET /stats",
     )
+    p.add_argument(
+        "--kb-store",
+        default=None,
+        choices=["memory", "mmap"],
+        help="where the KB matrices live: in-RAM arrays (default) or "
+        "read-only memory maps of a packed bundle (REPRO_KB_STORE "
+        "overrides the default)",
+    )
+    p.add_argument(
+        "--kb-bundle",
+        default=None,
+        metavar="DIR",
+        help="mmap bundle directory from `repro kb pack` (implies "
+        "--kb-store mmap; default: a private temporary bundle)",
+    )
     p.add_argument("--host", default="127.0.0.1", help="bind address for --http")
     p.add_argument("--json", action="store_true")
     p.add_argument("--stats", action="store_true", help="print serving stats afterwards")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("kb", help="KB storage utilities (repro.storage)")
+    kb_sub = p.add_subparsers(dest="action", required=True)
+    k = kb_sub.add_parser(
+        "pack",
+        help="build an mmap KB bundle (features + embeddings + manifest) "
+        "from a checkpoint for `repro serve --kb-store mmap`",
+    )
+    k.add_argument("--checkpoint", required=True)
+    k.add_argument("--out", required=True, help="bundle directory to write")
+    k.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="pack only the feature matrix (serve recomputes embeddings)",
+    )
+    k.add_argument("--json", action="store_true")
+    k.set_defaults(func=_cmd_kb_pack)
 
     p = sub.add_parser("explain", help="GNN-Explainer attribution for the top match")
     p.add_argument("--checkpoint", required=True)

@@ -13,6 +13,10 @@ Sharded scoring runs on threads by default or — with
 ``ServiceConfig(shard_backend="process")`` — on a
 :class:`ShardWorkerPool` (``workers``) of long-lived worker processes
 for true GIL-free parallelism; results are bit-identical either way.
+Where the KB matrices live is a separate axis — ``ServiceConfig``'s
+``storage`` section (:class:`~repro.storage.StorageConfig`) picks the
+in-RAM or mmap-bundle backend and controls the shared-memory arena
+process workers draw their shard payloads from.
 
 The network front door is :class:`LinkingHTTPServer` (``http``): an
 asyncio + stdlib HTTP server over the async service speaking the typed,

@@ -27,8 +27,6 @@ and the scoring math is the same ``score_pairs`` the pipeline uses.
 from __future__ import annotations
 
 import hashlib
-import os
-import zlib
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
@@ -40,6 +38,9 @@ from ..core.pipeline import EDPipeline, Prediction
 from ..core.query_graph import QueryGraph, build_query_graph
 from ..graph.batch import batch_graphs
 from ..graph.index import normalize_surface
+from ..storage import StorageConfig, open_stores
+from ..storage.bundle import content_fingerprint as _content_fingerprint
+from ..storage.bundle import weights_crc as _weights_crc
 from ..text.corpus import Snippet
 from ..text.embedder import HashingNgramEmbedder
 from .cache import LRUCache
@@ -125,6 +126,11 @@ class ServiceConfig:
     # dataclasses.asdict and the LinkerConfig JSON round trip produce — is
     # strictly coerced into an HttpConfig.
     http: Optional[HttpConfig] = None
+    # Where the KB feature table and reference-embedding matrix live and
+    # how process-shard payloads ship (repro.storage); like http, the
+    # dict form from asdict / the LinkerConfig JSON round trip is
+    # strictly coerced.
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -143,6 +149,17 @@ class ServiceConfig:
                 raise ValueError(f"bad http section in ServiceConfig: {exc}") from None
         elif self.http is not None and not isinstance(self.http, HttpConfig):
             raise ValueError("ServiceConfig http must be an HttpConfig (or its dict form)")
+        if isinstance(self.storage, dict):
+            try:
+                self.storage = StorageConfig(**self.storage)
+            except TypeError as exc:
+                raise ValueError(
+                    f"bad storage section in ServiceConfig: {exc}"
+                ) from None
+        elif not isinstance(self.storage, StorageConfig):
+            raise ValueError(
+                "ServiceConfig storage must be a StorageConfig (or its dict form)"
+            )
 
 
 class LinkingService:
@@ -163,6 +180,13 @@ class LinkingService:
         self.stats = ServiceStats()
         self._cache = LRUCache(self.config.cache_size)
         self._embedder = MemoizingEmbedder(pipeline.embedder)
+        # Where the matrices live (repro.storage): the memory backend is
+        # today's live arrays (+ optional .npz persistence via
+        # ref_cache_path); the mmap backend serves both matrices as
+        # read-only maps of a packed bundle.
+        self._kb_store, self._embedding_store = open_stores(
+            self.config.storage, pipeline.kb, ref_cache_path=self.config.ref_cache_path
+        )
         self._fingerprint: Optional[tuple] = None
         self._h_ref: Optional[Tensor] = None
         self._x_ref: Optional[Tensor] = None
@@ -173,10 +197,7 @@ class LinkingService:
     # Reference-embedding cache
     # ------------------------------------------------------------------
     def _weights_crc(self) -> int:
-        crc = 0
-        for _, param in sorted(self.pipeline.model.named_parameters()):
-            crc = zlib.crc32(np.ascontiguousarray(param.data).tobytes(), crc)
-        return crc
+        return _weights_crc(self.pipeline.model)
 
     def fingerprint(self) -> tuple:
         """Cheap per-request dirty check: model weights checksum plus the
@@ -190,16 +211,11 @@ class LinkingService:
 
     def content_fingerprint(self) -> int:
         """Full content checksum (weights + KB nodes/edges/features) that
-        keys the *persisted* reference-embedding cache — unlike
-        :meth:`fingerprint` it is stable across processes."""
-        crc = self._weights_crc()
-        kb = self.pipeline.kb
-        crc = zlib.crc32(np.asarray(kb.node_types, dtype=np.int64).tobytes(), crc)
-        for column in kb.edges():
-            crc = zlib.crc32(np.ascontiguousarray(column).tobytes(), crc)
-        if kb.features is not None:
-            crc = zlib.crc32(np.ascontiguousarray(kb.features).tobytes(), crc)
-        return crc
+        keys the *persisted* reference-embedding matrix — unlike
+        :meth:`fingerprint` it is stable across processes (it is the key
+        both the memory backend's ``.npz`` cache and the mmap bundle's
+        manifest carry)."""
+        return _content_fingerprint(self.pipeline)
 
     def refresh(self, force: bool = False) -> bool:
         """Recompute the reference embeddings if the model or KB changed
@@ -208,35 +224,54 @@ class LinkingService:
         if not force and current == self._fingerprint:
             return False
         self.pipeline.invalidate_ref_cache()
+        self._kb_store.refresh()
         content = self.content_fingerprint()
-        h_ref = self._load_ref_cache(content)
+        h_ref = self._embedding_store.load(content)
         if h_ref is None:
-            h_ref = self.pipeline.ref_embeddings()
-            self._save_ref_cache(content, h_ref)
-        else:
-            # Seed the pipeline's own cache so sequential calls agree.
-            self.pipeline._h_ref = h_ref
+            h_ref = self._embedding_store.store(
+                content, self.pipeline.ref_embeddings()
+            )
+        # Seed the pipeline's own cache so sequential calls agree (and,
+        # with a store-backed matrix, score out of the same bytes).
+        self.pipeline._h_ref = np.asarray(h_ref)
+        x_ref = self._kb_store.features
         self._h_ref = Tensor(h_ref)
-        self._x_ref = Tensor(self.pipeline.kb.features)
+        self._x_ref = Tensor(x_ref)
         if self.config.num_shards > 1:
-            self._refresh_shards(h_ref, previous=self._fingerprint, current=current)
+            self._refresh_shards(
+                np.asarray(h_ref), x_ref, previous=self._fingerprint, current=current
+            )
         self._fingerprint = current
         self._cache.clear()
         self.stats.record_ref_refresh()
+        self.stats.record_storage(
+            self._kb_store.backend,
+            ship_bytes=self._sharded.payload_ship_bytes if self._sharded else 0,
+            arena_segments=self._sharded.arena_segments if self._sharded else 0,
+        )
         return True
 
-    def _refresh_shards(self, h_ref: np.ndarray, previous: Optional[tuple], current: tuple) -> None:
+    def _refresh_shards(
+        self,
+        h_ref: np.ndarray,
+        x_ref: np.ndarray,
+        previous: Optional[tuple],
+        current: tuple,
+    ) -> None:
         """(Re)build or warm-start the sharded scoring backend.
 
         When only the weights changed (KB version/shape untouched) the
         shard views stay valid and the fresh embedding matrix is just
-        re-sliced into them — the warm-start ref-cache distribution; any
-        KB change rebuilds the partition."""
+        re-sliced into them — the warm-start ref-cache distribution
+        (with arena-published payloads, an in-place segment rewrite);
+        any KB change rebuilds the partition."""
         from .sharding import ShardedKB
 
         kb_unchanged = previous is not None and previous[1:] == current[1:]
         if self._sharded is not None and kb_unchanged:
+            t0 = perf_counter()
             self._sharded.distribute(h_ref)
+            self.stats.record_publish(perf_counter() - t0)
             return
         if self._sharded is not None:
             self._sharded.close()
@@ -246,25 +281,9 @@ class LinkingService:
             ref_embeddings=h_ref,
             max_workers=self.config.shard_workers,
             backend=self.config.shard_backend,
+            storage=self.config.storage,
+            ref_features=x_ref,
         )
-
-    def _load_ref_cache(self, fingerprint: int) -> Optional[np.ndarray]:
-        path = self.config.ref_cache_path
-        if path is None or not os.path.exists(path):
-            return None
-        with np.load(path) as payload:
-            if int(payload["fingerprint"]) != fingerprint:
-                return None  # stale: model or KB changed since it was written
-            return payload["h_ref"]
-
-    def _save_ref_cache(self, fingerprint: int, h_ref: np.ndarray) -> None:
-        path = self.config.ref_cache_path
-        if path is None:
-            return
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        np.savez(path, fingerprint=np.int64(fingerprint), h_ref=h_ref)
 
     @property
     def sharded(self):
@@ -272,11 +291,24 @@ class LinkingService:
         ``None`` when scoring runs against the unsharded KB."""
         return self._sharded
 
+    @property
+    def kb_store(self):
+        """The :class:`~repro.storage.KBStore` serving ``x_ref``."""
+        return self._kb_store
+
+    @property
+    def embedding_store(self):
+        """The :class:`~repro.storage.EmbeddingStore` serving ``h_ref``."""
+        return self._embedding_store
+
     def close(self) -> None:
-        """Release shard workers — thread pool or worker processes
-        (no-op when unsharded)."""
+        """Release shard workers (thread pool or worker processes, plus
+        any shared-memory arena they published) and the storage
+        backends."""
         if self._sharded is not None:
             self._sharded.close()
+        self._kb_store.close()
+        self._embedding_store.close()
 
     # ------------------------------------------------------------------
     # Request API

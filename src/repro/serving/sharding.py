@@ -49,6 +49,7 @@ from ..autograd import Tensor, no_grad
 from ..core.pipeline import EDPipeline
 from ..core.query_graph import QueryGraph
 from ..graph.hetero import HeteroGraph
+from ..storage import StorageConfig, shared_memory_available
 from .workers import (
     ScoreJob,
     ScorerSpec,
@@ -104,18 +105,27 @@ class ShardedKB:
         ref_embeddings: Optional[np.ndarray] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        storage: Optional[StorageConfig] = None,
+        ref_features: Optional[np.ndarray] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.pipeline = pipeline
         self.num_shards = num_shards
         self.backend = resolve_shard_backend(backend)
+        self.storage = storage or StorageConfig()
         # Warm start: reuse an already-computed (or cache-loaded) matrix
         # instead of re-embedding the KB per shard.
         h_ref = pipeline.ref_embeddings() if ref_embeddings is None else np.asarray(ref_embeddings)
         if h_ref.shape[0] != pipeline.kb.num_nodes:
             raise ValueError("ref_embeddings rows must match the KB node count")
         kb = pipeline.kb
+        # The feature matrix may be store-backed (e.g. an mmap of a packed
+        # bundle) rather than the KB's live array; slicing either yields
+        # identical bytes in a regular per-shard array.
+        features = kb.features if ref_features is None else np.asarray(ref_features)
+        if features.shape[0] != kb.num_nodes:
+            raise ValueError("ref_features rows must match the KB node count")
         self.shards: List[KBShard] = []
         for index in range(num_shards):
             node_ids = np.arange(index, kb.num_nodes, num_shards, dtype=np.int64)
@@ -124,7 +134,7 @@ class ShardedKB:
                     index=index,
                     node_ids=node_ids,
                     h_ref=np.ascontiguousarray(h_ref[node_ids]),
-                    x_ref=np.ascontiguousarray(kb.features[node_ids]),
+                    x_ref=np.ascontiguousarray(features[node_ids]),
                     kb=kb,
                 )
             )
@@ -153,6 +163,11 @@ class ShardedKB:
         import warnings
 
         scorer = ScorerSpec.from_model(self.pipeline.model)
+        # Arena mode publishes the matrices into shared memory and ships
+        # descriptors; workers score without the subgraph view, so the
+        # O(V+E) extraction (and its pickle bytes) is skipped entirely.
+        # The classic pickled path keeps shipping the view unchanged.
+        use_arena = self.storage.share_payloads and shared_memory_available()
         payloads = [
             ShardPayload(
                 index=shard.index,
@@ -161,12 +176,12 @@ class ShardedKB:
                 h_ref=shard.h_ref,
                 x_ref=shard.x_ref,
                 scorer=scorer,
-                view=shard.view,
+                view=None if use_arena else shard.view,
             )
             for shard in self.shards
         ]
         try:
-            return ShardWorkerPool(payloads)
+            return ShardWorkerPool(payloads, use_arena=use_arena)
         # TypeError/AttributeError are what the pickler actually raises
         # for unpicklable payload members ("cannot pickle '...' object").
         except (
@@ -333,6 +348,21 @@ class ShardedKB:
     def worker_pool(self) -> Optional[ShardWorkerPool]:
         """The process worker pool, or ``None`` on the thread backend."""
         return self._pool
+
+    @property
+    def payload_ship_bytes(self) -> int:
+        """Bytes of payload (init/refresh) traffic actually written to
+        the worker command pipes (0 on the thread backend)."""
+        return self._pool.payload_ship_bytes if self._pool is not None else 0
+
+    @property
+    def arena_segments(self) -> int:
+        """Shared-memory segments currently published for the workers
+        (0 without an arena)."""
+        pool = self._pool
+        if pool is None or pool.arena is None:
+            return 0
+        return pool.arena.num_segments
 
     def __repr__(self) -> str:
         sizes = "+".join(str(s.num_nodes) for s in self.shards)

@@ -36,6 +36,15 @@ class ServiceStats:
     batch_sizes: List[int] = field(default_factory=list)
     ref_refreshes: int = 0  # reference-embedding cache rebuilds
     compute_seconds: float = 0.0  # wall time inside batched forwards
+    # Storage telemetry (repro.storage): which backend serves the KB
+    # matrices, how many payload bytes actually crossed the worker
+    # command pipes, how many shared-memory segments are published, and
+    # the cost of warm-start distribute() publishes.
+    storage_backend: str = "memory"
+    payload_ship_bytes: int = 0
+    arena_segments: int = 0
+    publishes: int = 0  # warm-start distribute() calls
+    publish_seconds: float = 0.0  # wall time inside those publishes
     # submit -> result / submit -> batch formed, most recent LATENCY_WINDOW
     latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     queue_waits_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -58,6 +67,19 @@ class ServiceStats:
 
     def record_ref_refresh(self) -> None:
         self.ref_refreshes += 1
+
+    def record_storage(
+        self, backend: str, ship_bytes: int = 0, arena_segments: int = 0
+    ) -> None:
+        """Snapshot of the storage backend's state (gauges, not deltas)."""
+        self.storage_backend = backend
+        self.payload_ship_bytes = ship_bytes
+        self.arena_segments = arena_segments
+
+    def record_publish(self, seconds: float) -> None:
+        """One warm-start ``distribute()`` publish and its wall time."""
+        self.publishes += 1
+        self.publish_seconds += seconds
 
     def record_latency(self, total_seconds: float, queue_wait_seconds: float = 0.0) -> None:
         """One async request's end-to-end latency and its queue wait."""
@@ -116,6 +138,11 @@ class ServiceStats:
             "ref_refreshes": self.ref_refreshes,
             "compute_seconds": round(self.compute_seconds, 4),
             "mentions_per_second": round(self.mentions_per_second, 2),
+            "storage_backend": self.storage_backend,
+            "payload_ship_bytes": self.payload_ship_bytes,
+            "arena_segments": self.arena_segments,
+            "publishes": self.publishes,
+            "publish_ms": round(self.publish_seconds * 1000.0, 2),
         }
         if self.latencies_ms:
             # Only async serving records latencies; the sync service's
@@ -147,11 +174,15 @@ class ServiceStats:
             ("batches_total", self.batches, "micro-batch forward passes"),
             ("ref_refreshes_total", self.ref_refreshes, "reference-embedding rebuilds"),
             ("compute_seconds_total", self.compute_seconds, "wall time in batched forwards"),
+            ("storage_publishes_total", self.publishes, "warm-start distribute() publishes"),
+            ("storage_publish_seconds_total", self.publish_seconds, "wall time in publishes"),
         ]
         gauges = [
             ("cache_hit_rate", self.cache_hit_rate, "result cache hit rate"),
             ("mean_batch_size", self.mean_batch_size, "mean micro-batch size"),
             ("mentions_per_second", self.mentions_per_second, "compute-path throughput"),
+            ("storage_payload_ship_bytes", self.payload_ship_bytes, "payload bytes shipped over worker pipes"),
+            ("storage_arena_segments", self.arena_segments, "published shared-memory segments"),
         ]
         lines: List[str] = []
         for name, value, help_text in counters:
@@ -181,6 +212,12 @@ class ServiceStats:
                         f"{percentile_of(quantile * 100)}"
                     )
             lines.append(f"{prefix}_{name}_count {len(self.latencies_ms)}")
+        lines += [
+            # Info-style metric carrying the backend name as a label.
+            f"# HELP {prefix}_storage_info KB/embedding storage backend",
+            f"# TYPE {prefix}_storage_info gauge",
+            f'{prefix}_storage_info{{backend="{self.storage_backend}"}} 1',
+        ]
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
@@ -192,5 +229,10 @@ class ServiceStats:
         self.batch_sizes = []
         self.ref_refreshes = 0
         self.compute_seconds = 0.0
+        self.storage_backend = "memory"
+        self.payload_ship_bytes = 0
+        self.arena_segments = 0
+        self.publishes = 0
+        self.publish_seconds = 0.0
         self.latencies_ms = deque(maxlen=LATENCY_WINDOW)
         self.queue_waits_ms = deque(maxlen=LATENCY_WINDOW)

@@ -6,11 +6,18 @@ gathers and small matmuls whose Python/numpy bookkeeping holds the GIL,
 so N shards on threads buy little real parallelism.  This module moves
 each shard into its own long-lived worker **process**:
 
-* at startup every worker receives its pickled :class:`ShardPayload`
-  **once** — the shard-local :meth:`HeteroGraph.subgraph` view, the
-  ``h_ref``/``x_ref`` slices, and a :class:`ScorerSpec` (matcher name +
-  state dict + lexical-skip terms) it rebuilds into a
-  :class:`PairScorer`;
+* at startup every worker receives its :class:`ShardPayload` **once** —
+  either pickled whole (the shard-local :meth:`HeteroGraph.subgraph`
+  view, the ``h_ref``/``x_ref`` slices, and a :class:`ScorerSpec`
+  (matcher name + state dict + lexical-skip terms) it rebuilds into a
+  :class:`PairScorer`), or, with ``use_arena=True``, as a
+  :class:`ShardPayloadHandle` of shared-memory descriptors — the
+  matrices live in a parent-owned
+  :class:`~repro.storage.arena.SharedMemoryArena` and the init message
+  is O(1) in their size (``payload_ship_bytes`` vs
+  ``payload_matrix_nbytes`` measures the gap); a ``distribute()`` then
+  rewrites the segments in place instead of re-pickling slices per
+  worker;
 * thereafter the pipe only carries compact score requests (the chunk's
   query embedding matrix + aligned id arrays) and score replies, so the
   steady-state IPC per micro-batch is a few KB while the per-shard
@@ -37,24 +44,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..autograd import Tensor, gather, no_grad
+from ..autograd import Tensor, enable_grad, gather, no_grad
 from ..autograd.ops import rows_dot
 from ..core.matching import make_matcher
 from ..graph.hetero import HeteroGraph
+from ..storage.arena import ArraySpec, SharedMemoryArena, attach_array
 
 __all__ = [
     "SHARD_BACKENDS",
     "PairScorer",
     "ScorerSpec",
     "ShardPayload",
+    "ShardPayloadHandle",
     "ShardWorkerError",
     "ShardWorkerPool",
     "default_shard_backend",
@@ -161,8 +171,16 @@ class ScorerSpec:
         )
 
     def build(self) -> "PairScorer":
-        matcher = make_matcher(self.matcher_name, self.dim, np.random.default_rng(0))
-        matcher.load_state_dict(self.state)
+        # Parameter construction must see tape recording enabled: a
+        # worker respawned mid-batch is forked from a parent thread
+        # inside no_grad, and tensors created with recording off drop
+        # requires_grad — the rebuilt matcher would register no
+        # parameters and reject its own state dict.
+        with enable_grad():
+            matcher = make_matcher(
+                self.matcher_name, self.dim, np.random.default_rng(0)
+            )
+            matcher.load_state_dict(self.state)
         matcher.eval()
         return PairScorer(matcher, self.lexical_skip, self.lexical_scale)
 
@@ -218,6 +236,24 @@ class ShardPayload:
     view: Optional[HeteroGraph] = None
 
 
+@dataclass
+class ShardPayloadHandle:
+    """Descriptor form of a :class:`ShardPayload` for arena-published
+    shards: the matrices stay in parent-owned shared-memory segments and
+    the init message ships only their :class:`ArraySpec` descriptors —
+    pipe traffic is O(1) in the matrix size, and a warm-start
+    ``distribute()`` needs no payload re-ship at all (the parent updates
+    the segments in place and bumps ``version``)."""
+
+    index: int
+    num_shards: int
+    node_ids: ArraySpec
+    h_ref: ArraySpec
+    x_ref: ArraySpec
+    scorer: ScorerSpec
+    version: int = 0  # arena publish version at ship time
+
+
 def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
     """Long-lived worker loop: one ``init``, then score/refresh/stop.
 
@@ -226,8 +262,15 @@ def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
     """
     kind, payload = connection.recv()
     assert kind == "init"
-    h_ref = payload.h_ref
-    x_ref = payload.x_ref
+    segments = []  # keep shm mappings alive for the worker's lifetime
+    if isinstance(payload, ShardPayloadHandle):
+        h_ref, segment = attach_array(payload.h_ref)
+        segments.append(segment)
+        x_ref, segment = attach_array(payload.x_ref)
+        segments.append(segment)
+    else:
+        h_ref = payload.h_ref
+        x_ref = payload.x_ref
     scorer = payload.scorer.build()
     connection.send(("ready", payload.index))
     while True:
@@ -240,7 +283,12 @@ def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
             connection.close()
             break
         if kind == "refresh":
-            _, h_ref, spec = message
+            _, fresh_h_ref, spec = message
+            if fresh_h_ref is not None:
+                h_ref = fresh_h_ref
+            # Arena-published shards refresh with fresh_h_ref=None: the
+            # parent already rewrote the segment bytes in place, and this
+            # worker's mapping sees them with zero copies.
             scorer = spec.build()
             connection.send(("refreshed", payload.index))
             continue
@@ -293,6 +341,7 @@ class ShardWorkerPool:
         start_method: Optional[str] = None,
         clock: Optional[Callable[[], float]] = None,
         max_respawns: int = 2,
+        use_arena: bool = False,
     ):
         if not payloads:
             raise ValueError("ShardWorkerPool needs at least one payload")
@@ -306,17 +355,33 @@ class ShardWorkerPool:
         self.clock = clock or time.monotonic
         self.max_respawns = max_respawns
         self.respawns = 0  # lifetime respawn counter (telemetry + tests)
+        # Payload-ship telemetry: bytes actually written to command pipes
+        # for init/refresh messages, vs the matrix bytes a pickled ship
+        # would have cost (the arena's whole point is the gap between
+        # these two numbers).
+        self.payload_ship_bytes = 0
+        self.payload_matrix_nbytes = sum(
+            payload.h_ref.nbytes + payload.x_ref.nbytes for payload in payloads
+        )
         self._seq = 0
         self._lock = threading.Lock()  # serialises pipe fan-outs
         self._state = threading.Condition()  # close/in-flight bookkeeping
         self._in_flight = 0
         self._closed = False
         self._workers: List[_WorkerHandle] = []
+        self._arena: Optional[SharedMemoryArena] = None
         try:
+            if use_arena:
+                self._arena = SharedMemoryArena()
+                for payload in self._payloads:
+                    self._arena.publish(f"{payload.index}:node_ids", payload.node_ids)
+                    self._arena.publish(f"{payload.index}:h_ref", payload.h_ref)
+                    self._arena.publish(f"{payload.index}:x_ref", payload.x_ref)
             for index in range(len(payloads)):
                 self._workers.append(self._spawn(index))
         except BaseException:
-            # Partial startup must not leak the workers already forked.
+            # Partial startup must not leak the workers already forked
+            # (or the arena segments already published).
             for worker in self._workers:
                 try:
                     worker.connection.close()
@@ -324,11 +389,39 @@ class ShardWorkerPool:
                     pass
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
+            if self._arena is not None:
+                self._arena.close()
             raise
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _init_payload(self, index: int) -> Union[ShardPayload, ShardPayloadHandle]:
+        """What the init message ships: the retained payload itself, or —
+        with an arena — a descriptor handle whose size is independent of
+        the matrices (a respawned worker maps the same segments, which
+        already hold the latest distributed bytes)."""
+        payload = self._payloads[index]
+        if self._arena is None:
+            return payload
+        return ShardPayloadHandle(
+            index=payload.index,
+            num_shards=payload.num_shards,
+            node_ids=self._arena.spec(f"{payload.index}:node_ids"),
+            h_ref=self._arena.spec(f"{payload.index}:h_ref"),
+            x_ref=self._arena.spec(f"{payload.index}:x_ref"),
+            scorer=payload.scorer,
+            version=self._arena.version,
+        )
+
+    def _ship(self, connection, message: tuple) -> None:
+        """Send a payload-carrying message, metering its pickled size
+        (``send_bytes`` of a pickle is what ``Connection.send`` does under
+        the hood, so the worker's ``recv()`` is none the wiser)."""
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        connection.send_bytes(data)
+        self.payload_ship_bytes += len(data)
+
     def _spawn(self, index: int) -> _WorkerHandle:
         parent_end, child_end = self._context.Pipe()
         process = self._context.Process(
@@ -341,7 +434,7 @@ class ShardWorkerPool:
         child_end.close()
         try:
             try:
-                parent_end.send(("init", self._payloads[index]))
+                self._ship(parent_end, ("init", self._init_payload(index)))
                 if not parent_end.poll(HANDSHAKE_TIMEOUT_S):
                     raise ShardWorkerError(
                         f"shard worker {index} hung during startup"
@@ -384,6 +477,12 @@ class ShardWorkerPool:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    @property
+    def arena(self) -> Optional[SharedMemoryArena]:
+        """The shared-memory arena holding the published shard payloads,
+        or ``None`` when payloads ship pickled over the pipes."""
+        return self._arena
 
     @property
     def processes(self) -> List[object]:
@@ -439,6 +538,11 @@ class ShardWorkerPool:
         finally:
             if graceful:
                 self._lock.release()
+        # Workers are gone (or terminated); unlinking the arena segments
+        # is now safe — and it must happen even after crash/respawn
+        # churn, which is why the arena (not any worker) owns them.
+        if self._arena is not None:
+            self._arena.close()
 
     def __enter__(self) -> "ShardWorkerPool":
         return self
@@ -582,12 +686,25 @@ class ShardWorkerPool:
                 for payload, h_ref in zip(self._payloads, h_ref_slices):
                     payload.h_ref = h_ref
                     payload.scorer = scorer
+                    if self._arena is not None:
+                        # In-place versioned publish: the workers' live
+                        # mappings see the fresh bytes without a single
+                        # matrix byte crossing a pipe.  Safe because the
+                        # pool lock serialises this against every fan-out
+                        # — no worker is reading mid-rewrite.
+                        self._arena.update(f"{payload.index}:h_ref", h_ref)
                 confirmed = 0
                 try:
                     for index, worker in enumerate(self._workers):
                         try:
-                            worker.connection.send(
-                                ("refresh", self._payloads[index].h_ref, scorer)
+                            self._ship(
+                                worker.connection,
+                                (
+                                    "refresh",
+                                    None if self._arena is not None
+                                    else self._payloads[index].h_ref,
+                                    scorer,
+                                ),
                             )
                             kind, echoed = worker.connection.recv()
                             if kind != "refreshed" or echoed != self._payloads[index].index:

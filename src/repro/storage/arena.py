@@ -1,0 +1,229 @@
+"""Zero-copy shard payload publishing over POSIX shared memory.
+
+Process-shard startup used to pickle each worker's embedding and
+feature slices into the command pipe — O(matrix bytes) per worker, paid
+again on every warm-start ``distribute()``.  The arena inverts that:
+the parent publishes each array once into a
+``multiprocessing.shared_memory`` segment and ships only an
+:class:`ArraySpec` descriptor (segment name, dtype, shape, offset);
+workers map the segment read-only and score straight out of it.  A
+warm-start becomes an **in-place versioned publish**: the parent copies
+the fresh bytes into the existing segments and pokes the workers with a
+bare refresh message — no per-worker recompute, nothing matrix-sized on
+any pipe.
+
+Lifecycle is strictly parent-owned: the arena creates every segment and
+is the only place that unlinks them (:meth:`SharedMemoryArena.close`,
+idempotent, crash-tolerant — a SIGKILL'd worker leaves no segment
+behind because workers never own one).  Worker-side
+:func:`attach_array` just maps; pool children share the parent's
+``resource_tracker`` fd, so their attach-registration is an idempotent
+set-add, never a second unlink-on-exit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .base import StorageError
+
+__all__ = [
+    "ArraySpec",
+    "SharedMemoryArena",
+    "attach_array",
+    "shared_memory_available",
+]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Pickle-cheap descriptor of one published array: everything a
+    worker needs to map it, nothing matrix-sized."""
+
+    name: str  # shared-memory segment name
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0  # byte offset into the segment
+    origin_pid: int = 0  # pid of the publishing (owning) process
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+_PROBE: Optional[bool] = None  # cached result of the one-time probe
+
+
+def shared_memory_available() -> bool:
+    """Can this platform actually create a shared-memory segment?
+    (Import success is not enough — /dev/shm may be absent or full.)"""
+    global _PROBE
+    if _PROBE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=1)
+            segment.close()
+            segment.unlink()
+            _PROBE = True
+        except Exception:
+            _PROBE = False
+    return _PROBE
+
+
+class SharedMemoryArena:
+    """A keyed set of parent-owned shared-memory segments.
+
+    ``publish(key, array)`` copies the array into a fresh segment and
+    returns its :class:`ArraySpec`; ``update(key, array)`` overwrites
+    the bytes in place (same dtype/shape — the in-place contract that
+    makes warm-start distribution free of pipe traffic) and bumps
+    :attr:`version`.  Thread-safe; ``close()`` unlinks everything and
+    is idempotent.
+    """
+
+    def __init__(self):
+        from multiprocessing import shared_memory
+
+        self._shared_memory = shared_memory
+        self._segments: Dict[str, "shared_memory.SharedMemory"] = {}
+        self._specs: Dict[str, ArraySpec] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pid = os.getpid()  # only the creating process may unlink
+        self.version = 0  # bumped by every update()
+
+    # -- publishing -----------------------------------------------------
+    def publish(self, key: str, array: np.ndarray) -> ArraySpec:
+        array = np.ascontiguousarray(array)
+        with self._lock:
+            if self._closed:
+                raise StorageError("arena is closed")
+            if key in self._segments:
+                raise StorageError(f"arena key {key!r} already published")
+            # A zero-row slice still needs a mappable segment.
+            segment = self._shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            spec = ArraySpec(
+                name=segment.name,
+                dtype=str(array.dtype),
+                shape=array.shape,
+                origin_pid=os.getpid(),
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            self._segments[key] = segment
+            self._specs[key] = spec
+            return spec
+
+    def update(self, key: str, array: np.ndarray) -> ArraySpec:
+        array = np.ascontiguousarray(array)
+        with self._lock:
+            if self._closed:
+                raise StorageError("arena is closed")
+            spec = self._specs.get(key)
+            if spec is None:
+                raise StorageError(f"arena key {key!r} was never published")
+            if spec.shape != array.shape or np.dtype(spec.dtype) != array.dtype:
+                raise StorageError(
+                    f"arena key {key!r}: in-place update must keep dtype/shape "
+                    f"({spec.dtype}{spec.shape} -> {array.dtype}{array.shape})"
+                )
+            segment = self._segments[key]
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            self.version += 1
+            return spec
+
+    # -- introspection --------------------------------------------------
+    def spec(self, key: str) -> ArraySpec:
+        spec = self._specs.get(key)
+        if spec is None:
+            raise StorageError(f"arena key {key!r} was never published")
+        return spec
+
+    def view(self, key: str) -> np.ndarray:
+        """Parent-side read-only view of a published array."""
+        with self._lock:
+            if self._closed:
+                raise StorageError("arena is closed")
+            spec = self.spec(key)
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=self._segments[key].buf
+            )
+            view.flags.writeable = False
+            return view
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segment_names(self) -> List[str]:
+        return [spec.name for spec in self._specs.values()]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every segment.  Idempotent, and safe after worker
+        crashes — workers only ever map, never own."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, {}
+            self._specs = {}
+        if os.getpid() != self._pid:
+            # A fork-inherited copy of the arena (e.g. the parent's
+            # object graph duplicated into a worker) must never unlink
+            # the segments the real owner still serves from.
+            return
+        for segment in segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already gone (e.g. an external cleanup raced us)
+
+    def __del__(self):  # last-resort cleanup; close() is the contract
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_array(spec: ArraySpec):
+    """Worker-side: map a published array read-only.
+
+    Returns ``(array, segment)`` — the caller must keep ``segment``
+    referenced for as long as the array is in use.
+
+    On Python < 3.13 attaching re-registers the segment with the
+    ``resource_tracker``; pool workers inherit the *parent's* tracker
+    (its fd is passed to both forked and spawned children), so that
+    registration is an idempotent set-add on the shared tracker, not a
+    second unlink-on-exit — no unregister gymnastics needed, and the
+    tracker keeps covering the segment if the owner crashes.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=spec.name)
+    except FileNotFoundError as exc:
+        raise StorageError(f"shared-memory segment {spec.name!r} is gone: {exc}") from None
+    array = np.ndarray(
+        spec.shape,
+        dtype=np.dtype(spec.dtype),
+        buffer=segment.buf,
+        offset=spec.offset,
+    )
+    array.flags.writeable = False
+    return array, segment

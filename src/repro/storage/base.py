@@ -1,0 +1,156 @@
+"""The KB / embedding storage seam.
+
+Serving historically assumed both the KB feature table and the
+reference-embedding matrix live as plain in-RAM numpy arrays owned by
+the process.  That couples KB size to one process's memory and makes
+every process-shard worker pay a full pickled copy of its slice.  This
+module splits *where those matrices live* out of *how they are used*:
+
+* :class:`KBStore` — serves the KB's node feature matrix (``x_ref``);
+* :class:`EmbeddingStore` — persists and serves the reference-embedding
+  matrix (``h_ref``), keyed by a content fingerprint over (model
+  weights, KB) so a stale matrix is never served;
+* :class:`StorageConfig` — the declarative knob set, a strict
+  round-trip section of :class:`~repro.serving.ServiceConfig` (and thus
+  of the LinkerConfig JSON).
+
+Two backends implement the seam (``KB_STORES``):
+
+* ``"memory"`` (default) — today's behavior: live arrays, optional
+  ``.npz`` persistence of the embedding matrix;
+* ``"mmap"`` — both matrices persisted as ``.npy`` array files in a
+  *bundle* directory (see :mod:`repro.storage.bundle`) and served as
+  read-only memory maps, so a KB larger than one process's RAM is
+  servable and N forked workers share one page cache.
+
+The third storage piece, :class:`~repro.storage.arena.SharedMemoryArena`,
+is orthogonal to the store choice: it publishes process-shard payloads
+via ``multiprocessing.shared_memory`` so worker startup ships segment
+descriptors instead of pickled matrices (``StorageConfig.share_payloads``).
+
+Every backend serves bit-identical bytes — scores never depend on where
+the matrices live.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "KB_STORES",
+    "KB_STORE_ENV",
+    "EmbeddingStore",
+    "KBStore",
+    "StorageConfig",
+    "StorageError",
+    "default_kb_store",
+    "resolve_kb_store",
+]
+
+#: the KB/embedding store backends a config may name
+KB_STORES = ("memory", "mmap")
+
+#: environment default for the backend (the CI kb-store matrix sets this)
+KB_STORE_ENV = "REPRO_KB_STORE"
+
+
+class StorageError(RuntimeError):
+    """A storage backend failed (corrupt bundle, missing arrays, a
+    shared-memory segment that cannot be mapped)."""
+
+
+def default_kb_store() -> str:
+    """The store used when nothing names one explicitly: the
+    ``REPRO_KB_STORE`` environment variable when set (the CI kb-store
+    matrix forces the mmap backend this way), else ``"memory"``."""
+    return os.environ.get(KB_STORE_ENV, "").strip() or "memory"
+
+
+def resolve_kb_store(requested: Optional[str] = None) -> str:
+    """Resolve a store name: explicit argument, else the
+    ``REPRO_KB_STORE`` environment default, else ``"memory"``.
+    An unknown name raises."""
+    store = requested or default_kb_store()
+    if store not in KB_STORES:
+        raise ValueError(f"unknown kb store {store!r}; options: {KB_STORES}")
+    return store
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Where the KB feature table and embedding matrix live, and how
+    process-shard payloads are shipped.
+
+    Lives inside :class:`~repro.serving.ServiceConfig` as the
+    ``storage`` section; the JSON round trip is strict and exact like
+    every other config section.
+    """
+
+    #: "memory" (live arrays) or "mmap" (bundle-backed read-only maps);
+    #: defaults to the REPRO_KB_STORE environment variable when set.
+    kb_store: str = field(default_factory=default_kb_store)
+    #: bundle directory for the mmap store (``repro kb pack`` output).
+    #: None packs into a private temporary bundle, removed on close().
+    bundle_path: Optional[str] = None
+    #: publish process-shard payloads via multiprocessing.shared_memory
+    #: (worker startup ships (shm name, dtype, shape, offset) descriptors
+    #: instead of pickled matrices).  Ignored on the thread backend and
+    #: on platforms without POSIX shared memory.
+    share_payloads: bool = True
+
+    def __post_init__(self):
+        if self.kb_store not in KB_STORES:
+            raise ValueError(
+                f"unknown kb_store {self.kb_store!r}; options: {KB_STORES}"
+            )
+        if self.bundle_path is not None and not isinstance(self.bundle_path, str):
+            raise ValueError("storage bundle_path must be a path string (or null)")
+        if not isinstance(self.share_payloads, bool):
+            raise ValueError("storage share_payloads must be a boolean")
+
+
+class KBStore:
+    """Serves the KB node feature matrix (``x_ref``).
+
+    ``features`` must be bit-identical to ``kb.features`` — the store
+    only changes where the bytes live (RAM vs a read-only memory map),
+    never their values.
+    """
+
+    backend: str
+
+    @property
+    def features(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def refresh(self) -> None:
+        """Revalidate against the live KB (after a KB mutation)."""
+
+    def close(self) -> None:
+        """Release file handles / temporary directories.  Idempotent."""
+
+
+class EmbeddingStore:
+    """Persists and serves the reference-embedding matrix (``h_ref``).
+
+    The matrix is keyed by a content fingerprint over (model weights,
+    KB); ``load`` returns ``None`` rather than a stale matrix.
+    """
+
+    backend: str
+
+    def load(self, fingerprint: int) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def store(self, fingerprint: int, h_ref: np.ndarray) -> np.ndarray:
+        """Persist a freshly computed matrix; returns the store-backed
+        array to serve (for the mmap store, a read-only memory map of
+        the bytes just written — bit-identical to ``h_ref``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release file handles / temporary directories.  Idempotent."""

@@ -48,7 +48,7 @@ class TestParser:
     def test_all_subcommands_have_help(self, capsys):
         for command in (
             "datasets", "synth", "train", "evaluate", "link", "serve", "explain",
-            "config", "reproduce",
+            "config", "reproduce", "kb",
         ):
             with pytest.raises(SystemExit) as exc:
                 build_parser().parse_args([command, "--help"])
@@ -481,3 +481,104 @@ class TestReproduce:
         out = capsys.readouterr().out
         assert "Table 5" in out
         assert "4 layers" in out
+
+
+class TestKbPack:
+    def test_pack_json_and_serve_from_bundle(self, checkpoint, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            ["kb", "pack", "--checkpoint", checkpoint, "--out", bundle, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bundle"] == bundle
+        manifest = payload["manifest"]
+        assert manifest["schema_version"] == 1
+        assert manifest["h_ref"]["fingerprint"]
+        for name in ("manifest.json", "features.npy", "h_ref.npy"):
+            assert os.path.exists(os.path.join(bundle, name))
+        # The packed bundle serves: --kb-bundle implies --kb-store mmap.
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--dataset", "NCBI",
+                "--scale", SCALE,
+                "--limit", "4",
+                "--kb-bundle", bundle,
+                "--json",
+                "--stats",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 5  # four predictions + the stats payload
+        assert lines[4]["stats"]["storage_backend"] == "mmap"
+
+    def test_pack_without_embeddings(self, checkpoint, tmp_path, capsys):
+        bundle = str(tmp_path / "lean")
+        assert main(
+            ["kb", "pack", "--checkpoint", checkpoint, "--out", bundle,
+             "--no-embeddings"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "packed KB bundle" in out
+        assert "not packed" in out
+        assert not os.path.exists(os.path.join(bundle, "h_ref.npy"))
+
+    def test_serve_kb_store_mmap_without_bundle(self, checkpoint, capsys):
+        # No --kb-bundle: the mmap store packs a private temporary bundle
+        # and removes it on close; results are unchanged.
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--dataset", "NCBI",
+                "--scale", SCALE,
+                "--limit", "4",
+                "--kb-store", "mmap",
+                "--shards", "2",
+                "--json",
+                "--stats",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert lines[4]["stats"]["storage_backend"] == "mmap"
+        assert all("candidates" in line for line in lines[:4])
+
+    def test_kb_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kb"])
+
+
+class TestServeSigpipe:
+    def test_closed_stdout_during_storage_init_exits_clean(self, checkpoint):
+        # A downstream consumer hanging up while serve is still packing /
+        # mapping the bundle (storage init) must end the process SIGPIPE-
+        # clean: exit 0, no traceback on stderr — for both the plain and
+        # the process-shard + arena paths.
+        import subprocess
+        import sys
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        for extra in ([], ["--shards", "2", "--shard-backend", "process"]):
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--checkpoint", checkpoint,
+                    "--input", "-",
+                    "--kb-store", "mmap",
+                    *extra,
+                ],
+                cwd=root,
+                env=env,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            proc.stdout.close()  # hang up before the first prediction
+            proc.stdin.write((SNIPPET_TEXT + "\n").encode())
+            proc.stdin.close()
+            stderr = proc.stderr.read()
+            assert proc.wait(timeout=120) == 0, stderr.decode()
+            assert b"Traceback" not in stderr

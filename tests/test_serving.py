@@ -14,6 +14,7 @@ from repro.core import EDPipeline, ModelConfig, TrainConfig, make_matcher
 from repro.autograd import Tensor
 from repro.datasets import load_dataset
 from repro.serving import LinkingService, LRUCache, ServiceConfig
+from repro.storage import StorageConfig
 from repro.text.corpus import Snippet
 
 SCALE = 0.2
@@ -196,9 +197,16 @@ class TestResultCache:
 
 
 class TestRefEmbeddingPersistence:
+    # The .npz persistence contract belongs to the memory embedding
+    # store, so these pin storage explicitly (the kb-store CI axis
+    # forces mmap via REPRO_KB_STORE, whose bundle persists h_ref
+    # itself and ignores ref_cache_path).
     def test_ref_cache_roundtrip(self, pipeline, tmp_path, monkeypatch):
         path = str(tmp_path / "ref.npz")
-        first = LinkingService(pipeline, ServiceConfig(ref_cache_path=path))
+        memory = StorageConfig(kb_store="memory")
+        first = LinkingService(
+            pipeline, ServiceConfig(ref_cache_path=path, storage=memory)
+        )
         assert (tmp_path / "ref.npz").exists()
 
         # A second service must load the persisted embeddings instead of
@@ -207,16 +215,23 @@ class TestRefEmbeddingPersistence:
             raise AssertionError("ref embeddings recomputed despite a valid cache")
 
         monkeypatch.setattr(EDPipeline, "ref_embeddings", boom)
-        second = LinkingService(pipeline, ServiceConfig(ref_cache_path=path))
+        second = LinkingService(
+            pipeline, ServiceConfig(ref_cache_path=path, storage=memory)
+        )
         assert np.array_equal(first._h_ref.data, second._h_ref.data)
 
     def test_stale_ref_cache_rejected(self, pipeline, tmp_path):
         path = str(tmp_path / "ref.npz")
-        service = LinkingService(pipeline, ServiceConfig(ref_cache_path=path))
+        service = LinkingService(
+            pipeline,
+            ServiceConfig(
+                ref_cache_path=path, storage=StorageConfig(kb_store="memory")
+            ),
+        )
         with np.load(path) as payload:
             h_ref = payload["h_ref"]
         np.savez(path, fingerprint=np.int64(12345), h_ref=np.zeros_like(h_ref))
-        assert service._load_ref_cache(service.content_fingerprint()) is None
+        assert service.embedding_store.load(service.content_fingerprint()) is None
 
 
 class TestStats:

@@ -1,0 +1,549 @@
+"""Tests for the pluggable KB/embedding storage layer (repro.storage).
+
+Covers the strict ``StorageConfig`` section (standalone and inside
+``ServiceConfig``), the mmap bundle's bit-exact round trip and
+staleness handling, the shared-memory arena's publish/update/unlink
+lifecycle (including a SIGKILL'd worker respawn), the cross-backend
+equivalence property — memory|mmap x thread|process x 2|4 shards all
+rank exactly like ``disambiguate_snippet`` with bitwise-identical
+scores — and the acceptance bound that arena-mode worker startup ships
+less than the matrices' nbytes over the command pipes.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import EDPipeline, ModelConfig, TrainConfig
+from repro.datasets import load_dataset
+from repro.serving import LinkingService, ServiceConfig
+from repro.storage import (
+    KB_STORE_ENV,
+    MmapStore,
+    SharedMemoryArena,
+    StorageConfig,
+    StorageError,
+    attach_array,
+    content_fingerprint,
+    default_kb_store,
+    pack_bundle,
+    resolve_kb_store,
+    shared_memory_available,
+)
+from repro.storage.bundle import (
+    FEATURES_NAME,
+    MANIFEST_NAME,
+    _read_manifest,
+    features_crc,
+)
+
+SCALE = 0.2
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NCBI", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def pipeline(dataset):
+    pipe = EDPipeline(
+        dataset.kb,
+        model_config=ModelConfig(variant="graphsage", num_layers=2, seed=0),
+        train_config=TrainConfig(epochs=2, patience=5, seed=0),
+    )
+    pipe.fit(dataset.train, dataset.val, dataset.test)
+    return pipe
+
+
+@pytest.fixture(scope="module")
+def bundle(pipeline, tmp_path_factory):
+    """A packed bundle (features + embeddings) shared by the mmap tests."""
+    directory = str(tmp_path_factory.mktemp("bundle"))
+    manifest = pack_bundle(pipeline, directory)
+    return directory, manifest
+
+
+def make_service(pipeline, kb_store, backend, shards, bundle_path=None):
+    return LinkingService(
+        pipeline,
+        ServiceConfig(
+            num_shards=shards,
+            shard_backend=backend,
+            storage=StorageConfig(kb_store=kb_store, bundle_path=bundle_path),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# StorageConfig
+# ----------------------------------------------------------------------
+class TestStorageConfig:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(KB_STORE_ENV, raising=False)
+        config = StorageConfig()
+        assert config.kb_store == "memory"
+        assert config.bundle_path is None
+        assert config.share_payloads is True
+
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(KB_STORE_ENV, "mmap")
+        assert default_kb_store() == "mmap"
+        assert StorageConfig().kb_store == "mmap"
+        # An explicit request always wins over the environment.
+        assert resolve_kb_store("memory") == "memory"
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ValueError, match="unknown kb store"):
+            resolve_kb_store("cloud")
+        with pytest.raises(ValueError, match="unknown kb_store"):
+            StorageConfig(kb_store="cloud")
+
+    def test_bad_field_types_rejected(self):
+        with pytest.raises(ValueError, match="bundle_path"):
+            StorageConfig(bundle_path=7)
+        with pytest.raises(ValueError, match="share_payloads"):
+            StorageConfig(share_payloads="yes")
+
+    def test_service_config_coerces_dict_section(self):
+        # The shape dataclasses.asdict / the LinkerConfig JSON round trip
+        # produce must coerce strictly back into a StorageConfig.
+        config = ServiceConfig(
+            storage={"kb_store": "mmap", "bundle_path": None, "share_payloads": True}
+        )
+        assert config.storage == StorageConfig(kb_store="mmap")
+
+    def test_service_config_rejects_unknown_storage_key(self):
+        with pytest.raises(ValueError, match="bad storage section"):
+            ServiceConfig(storage={"kb_store": "memory", "compression": "zstd"})
+
+    def test_service_config_rejects_non_dict_storage(self):
+        with pytest.raises(ValueError, match="storage must be a StorageConfig"):
+            ServiceConfig(storage="mmap")
+
+    def test_json_round_trip_is_exact(self):
+        import dataclasses
+
+        original = ServiceConfig(storage=StorageConfig(kb_store="mmap"))
+        payload = json.loads(json.dumps(dataclasses.asdict(original)))
+        assert ServiceConfig(**payload) == original
+
+
+# ----------------------------------------------------------------------
+# The mmap bundle
+# ----------------------------------------------------------------------
+class TestBundle:
+    def test_pack_writes_manifest_and_arrays(self, pipeline, bundle):
+        directory, manifest = bundle
+        assert os.path.exists(os.path.join(directory, MANIFEST_NAME))
+        assert os.path.exists(os.path.join(directory, FEATURES_NAME))
+        assert manifest["schema_version"] == 1
+        assert manifest["features"]["crc"] == features_crc(pipeline.kb.features)
+        assert manifest["h_ref"]["fingerprint"] == content_fingerprint(pipeline)
+
+    def test_round_trip_is_bit_identical(self, pipeline, bundle):
+        directory, _ = bundle
+        store = MmapStore(pipeline.kb, directory=directory)
+        try:
+            assert store.features.dtype == pipeline.kb.features.dtype
+            assert np.array_equal(store.features, pipeline.kb.features)
+            h_ref = store.load(content_fingerprint(pipeline))
+            assert h_ref is not None
+            assert h_ref.dtype == np.float32
+            assert np.array_equal(h_ref, pipeline.ref_embeddings())
+        finally:
+            store.close()
+
+    def test_stale_fingerprint_not_served(self, pipeline, bundle):
+        directory, _ = bundle
+        store = MmapStore(pipeline.kb, directory=directory)
+        try:
+            assert store.load(content_fingerprint(pipeline) ^ 1) is None
+        finally:
+            store.close()
+
+    def test_stale_feature_crc_triggers_repack(self, pipeline, bundle, tmp_path):
+        # A bundle whose features disagree with the live KB must be
+        # re-packed, never served: tamper both the array and the CRC.
+        directory, _ = bundle
+        stale = str(tmp_path / "stale")
+        import shutil
+
+        shutil.copytree(directory, stale)
+        wrong = np.zeros_like(pipeline.kb.features)
+        np.save(os.path.join(stale, FEATURES_NAME), wrong)
+        manifest = _read_manifest(stale)
+        manifest["features"]["crc"] = features_crc(wrong)
+        with open(os.path.join(stale, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        store = MmapStore(pipeline.kb, directory=stale)
+        try:
+            assert np.array_equal(store.features, pipeline.kb.features)
+            assert (
+                _read_manifest(stale)["features"]["crc"]
+                == features_crc(pipeline.kb.features)
+            )
+        finally:
+            store.close()
+
+    def test_manifest_strictness(self, pipeline, tmp_path):
+        directory = str(tmp_path / "bad")
+        pack_bundle(pipeline, directory, embeddings=False)
+        path = os.path.join(directory, MANIFEST_NAME)
+        manifest = _read_manifest(directory)
+        manifest["compression"] = "zstd"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises((StorageError, ValueError)):
+            MmapStore(pipeline.kb, directory=directory)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        with pytest.raises(StorageError, match="unreadable bundle manifest"):
+            MmapStore(pipeline.kb, directory=directory)
+
+    def test_wrong_schema_version_rejected(self, pipeline, tmp_path):
+        directory = str(tmp_path / "future")
+        pack_bundle(pipeline, directory, embeddings=False)
+        path = os.path.join(directory, MANIFEST_NAME)
+        manifest = _read_manifest(directory)
+        manifest["schema_version"] = 99
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(StorageError, match="schema_version"):
+            MmapStore(pipeline.kb, directory=directory)
+
+    def test_pack_without_embeddings(self, pipeline, tmp_path):
+        directory = str(tmp_path / "lean")
+        manifest = pack_bundle(pipeline, directory, embeddings=False)
+        assert manifest["h_ref"] is None
+        store = MmapStore(pipeline.kb, directory=directory)
+        try:
+            assert store.load(content_fingerprint(pipeline)) is None
+            # store() persists and returns a map of the same bytes.
+            h_ref = store.store(content_fingerprint(pipeline), pipeline.ref_embeddings())
+            assert np.array_equal(h_ref, pipeline.ref_embeddings())
+            assert store.load(content_fingerprint(pipeline)) is not None
+        finally:
+            store.close()
+
+    def test_owned_temp_bundle_removed_on_close(self, pipeline):
+        store = MmapStore(pipeline.kb)
+        directory = store.directory
+        assert os.path.exists(os.path.join(directory, FEATURES_NAME))
+        store.close()
+        store.close()  # idempotent
+        assert not os.path.exists(directory)
+
+    def test_pointed_at_bundle_survives_close(self, pipeline, bundle):
+        directory, _ = bundle
+        store = MmapStore(pipeline.kb, directory=directory)
+        store.close()
+        assert os.path.exists(os.path.join(directory, MANIFEST_NAME))
+        with pytest.raises(StorageError, match="closed"):
+            store.features
+
+
+# ----------------------------------------------------------------------
+# The shared-memory arena
+# ----------------------------------------------------------------------
+@needs_shm
+class TestArena:
+    def test_publish_attach_round_trip(self):
+        arena = SharedMemoryArena()
+        try:
+            array = np.arange(12, dtype=np.float32).reshape(3, 4)
+            spec = arena.publish("h", array)
+            assert spec.nbytes == array.nbytes
+            assert np.array_equal(arena.view("h"), array)
+            attached, segment = attach_array(spec)
+            try:
+                assert np.array_equal(attached, array)
+                assert not attached.flags.writeable
+            finally:
+                del attached
+                segment.close()
+        finally:
+            arena.close()
+
+    def test_update_is_in_place_and_versioned(self):
+        arena = SharedMemoryArena()
+        try:
+            array = np.zeros((2, 2), dtype=np.float32)
+            spec = arena.publish("h", array)
+            attached, segment = attach_array(spec)
+            try:
+                fresh = np.full((2, 2), 7.0, dtype=np.float32)
+                assert arena.version == 0
+                arena.update("h", fresh)
+                assert arena.version == 1
+                # The live mapping sees the new bytes: nothing re-shipped.
+                assert np.array_equal(attached, fresh)
+            finally:
+                del attached
+                segment.close()
+        finally:
+            arena.close()
+
+    def test_update_must_keep_dtype_and_shape(self):
+        arena = SharedMemoryArena()
+        try:
+            arena.publish("h", np.zeros((2, 2), dtype=np.float32))
+            with pytest.raises(StorageError, match="dtype/shape"):
+                arena.update("h", np.zeros((3, 2), dtype=np.float32))
+            with pytest.raises(StorageError, match="never published"):
+                arena.update("x", np.zeros(1, dtype=np.float32))
+        finally:
+            arena.close()
+
+    def test_duplicate_key_rejected(self):
+        arena = SharedMemoryArena()
+        try:
+            arena.publish("h", np.zeros(1, dtype=np.float32))
+            with pytest.raises(StorageError, match="already published"):
+                arena.publish("h", np.zeros(1, dtype=np.float32))
+        finally:
+            arena.close()
+
+    def test_close_unlinks_every_segment(self):
+        arena = SharedMemoryArena()
+        spec = arena.publish("h", np.zeros((4,), dtype=np.float32))
+        assert arena.num_segments == 1
+        arena.close()
+        arena.close()  # idempotent
+        with pytest.raises(StorageError, match="is gone"):
+            attach_array(spec)
+        with pytest.raises(StorageError, match="closed"):
+            arena.publish("x", np.zeros(1, dtype=np.float32))
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence
+# ----------------------------------------------------------------------
+class TestCrossBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def baseline(self, pipeline, dataset):
+        """Predictions from the unsharded memory-backed service, checked
+        once against the sequential oracle; every combo must match them
+        bitwise."""
+        service = make_service(pipeline, "memory", "thread", shards=1)
+        try:
+            predictions = service.link_batch(dataset.test[:6])
+        finally:
+            service.close()
+        for snippet, prediction in zip(dataset.test[:6], predictions):
+            oracle = pipeline.disambiguate_snippet(snippet)
+            assert prediction.ranked_entities == oracle.ranked_entities
+        return predictions
+
+    @pytest.mark.parametrize("kb_store", ["memory", "mmap"])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_scores_bit_identical_across_backends(
+        self, pipeline, dataset, baseline, kb_store, backend, shards
+    ):
+        service = make_service(pipeline, kb_store, backend, shards)
+        try:
+            if backend == "process" and service.sharded.worker_pool is None:
+                pytest.skip("process shard backend unavailable on this platform")
+            assert service.kb_store.backend == kb_store
+            predictions = service.link_batch(dataset.test[:6])
+            for expected, actual in zip(baseline, predictions):
+                assert actual.ranked_entities == expected.ranked_entities
+                assert actual.scores == expected.scores  # bitwise, not approx
+        finally:
+            service.close()
+
+    def test_mmap_bundle_reuse_skips_the_embedding_forward(
+        self, pipeline, dataset, bundle
+    ):
+        # Serving from a packed bundle must load h_ref instead of
+        # recomputing it — and still score identically.
+        directory, _ = bundle
+        calls = []
+        original = EDPipeline.ref_embeddings
+
+        def counting(self, *a, **k):
+            calls.append(1)
+            return original(self, *a, **k)
+
+        try:
+            EDPipeline.ref_embeddings = counting
+            service = make_service(
+                pipeline, "mmap", "thread", shards=1, bundle_path=directory
+            )
+        finally:
+            EDPipeline.ref_embeddings = original
+        try:
+            assert not calls  # startup served the packed matrix
+            prediction = service.link_batch(dataset.test[:1])[0]
+            oracle = pipeline.disambiguate_snippet(dataset.test[0])
+            assert prediction.ranked_entities == oracle.ranked_entities
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Arena-backed shard payloads, end to end
+# ----------------------------------------------------------------------
+@needs_shm
+class TestArenaShardPayloads:
+    @pytest.fixture()
+    def service(self, pipeline):
+        service = make_service(pipeline, "memory", "process", shards=2)
+        if service.sharded.worker_pool is None:
+            service.close()
+            pytest.skip("process shard backend unavailable on this platform")
+        yield service
+        service.close()
+
+    def test_startup_ships_less_than_the_matrices(self, service):
+        # The acceptance bound: worker startup must ship descriptors, not
+        # pickled matrices — total pipe traffic stays under the matrices'
+        # own nbytes (the classic path ships strictly more than that).
+        pool = service.sharded.worker_pool
+        assert pool.arena is not None
+        assert pool.payload_ship_bytes < pool.payload_matrix_nbytes
+        # 3 arrays (node_ids, h_ref, x_ref) per shard.
+        assert pool.arena.num_segments == 3 * 2
+        assert service.sharded.arena_segments == 6
+
+    def test_distribute_is_an_in_place_publish(self, service, pipeline, dataset):
+        # A warm-start refresh must rewrite the existing segments (same
+        # names, bumped version) and ship nothing matrix-sized.
+        pool = service.sharded.worker_pool
+        names_before = sorted(pool.arena.segment_names)
+        version_before = pool.arena.version
+        shipped_before = pool.payload_ship_bytes
+        param = pipeline.model.parameters()[-1]
+        original = param.data.copy()
+        try:
+            param.data = param.data + 0.25
+            pipeline.invalidate_ref_cache()
+            service.refresh()
+            assert sorted(pool.arena.segment_names) == names_before
+            assert pool.arena.version > version_before
+            refresh_traffic = pool.payload_ship_bytes - shipped_before
+            assert 0 < refresh_traffic < pool.payload_matrix_nbytes
+            snippet = dataset.test[0]
+            oracle = pipeline.disambiguate_snippet(snippet)
+            assert (
+                service.link_batch([snippet])[0].ranked_entities
+                == oracle.ranked_entities
+            )
+            assert service.stats.publishes >= 1
+        finally:
+            param.data = original
+            pipeline.invalidate_ref_cache()
+            service.refresh()
+
+    def test_segments_unlinked_after_close(self, pipeline, dataset):
+        from multiprocessing import shared_memory
+
+        service = make_service(pipeline, "memory", "process", shards=2)
+        pool = service.sharded.worker_pool
+        if pool is None:
+            service.close()
+            pytest.skip("process shard backend unavailable on this platform")
+        names = list(pool.arena.segment_names)
+        assert names
+        service.link_batch(dataset.test[:2])
+        service.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_segments_survive_a_killed_worker_and_still_unlink(
+        self, pipeline, dataset
+    ):
+        # SIGKILL one worker mid-life: the respawn must reuse the same
+        # published segments (workers never own them), scoring must stay
+        # exact, and close() must still unlink everything.
+        from multiprocessing import shared_memory
+
+        service = LinkingService(
+            pipeline,
+            ServiceConfig(
+                num_shards=2,
+                shard_backend="process",
+                cache_size=0,  # force the post-kill batch through the pool
+                storage=StorageConfig(kb_store="memory"),
+            ),
+        )
+        pool = service.sharded.worker_pool
+        if pool is None:
+            service.close()
+            pytest.skip("process shard backend unavailable on this platform")
+        names = sorted(pool.arena.segment_names)
+        before = service.link_batch(dataset.test[:2])
+        victim = pool.processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+        assert not victim.is_alive()
+        after = service.link_batch(dataset.test[:2])
+        assert pool.respawns >= 1
+        for expected, actual in zip(before, after):
+            assert actual.ranked_entities == expected.ranked_entities
+            assert actual.scores == expected.scores
+        assert sorted(pool.arena.segment_names) == names  # same segments
+        service.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_share_payloads_false_uses_the_pickled_path(self, pipeline):
+        service = LinkingService(
+            pipeline,
+            ServiceConfig(
+                num_shards=2,
+                shard_backend="process",
+                storage=StorageConfig(share_payloads=False),
+            ),
+        )
+        try:
+            pool = service.sharded.worker_pool
+            if pool is None:
+                pytest.skip("process shard backend unavailable on this platform")
+            assert pool.arena is None
+            # The classic path pickles the matrices into the pipes.
+            assert pool.payload_ship_bytes > pool.payload_matrix_nbytes
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Storage telemetry
+# ----------------------------------------------------------------------
+class TestStorageStats:
+    def test_stats_carry_the_storage_block(self, pipeline):
+        service = make_service(pipeline, "mmap", "thread", shards=1)
+        try:
+            payload = service.stats.to_dict()
+            assert payload["storage_backend"] == "mmap"
+            for key in ("payload_ship_bytes", "arena_segments", "publishes",
+                        "publish_ms"):
+                assert key in payload
+            text = service.stats.to_prometheus()
+            assert 'storage_info{backend="mmap"} 1' in text
+            assert "storage_payload_ship_bytes" in text
+        finally:
+            service.close()
+
+    @needs_shm
+    def test_process_backend_reports_ship_bytes(self, pipeline):
+        service = make_service(pipeline, "memory", "process", shards=2)
+        try:
+            if service.sharded.worker_pool is None:
+                pytest.skip("process shard backend unavailable on this platform")
+            payload = service.stats.to_dict()
+            assert payload["storage_backend"] == "memory"
+            assert payload["payload_ship_bytes"] > 0
+            assert payload["arena_segments"] == 6
+        finally:
+            service.close()
