@@ -1,0 +1,225 @@
+"""Candidate-generation guard: sublinear retrieval vs the linear fuzzy scan.
+
+Synthesises a large KB (200k entities in the full run — the scale where
+the fuzzy oracle's O(N·d) name-matrix scan dominates candidate latency),
+builds a typo'd/abbreviated mention corpus that misses the inverted
+index, and compares the ``"indexed"`` generator against the
+``"fuzzy"`` oracle on the same queries:
+
+* **speedup** — end-to-end ``candidates_for`` time, oracle over indexed.
+  Enforced for the default ``ngram`` backend (``candidate_speedup_floor``:
+  5x full, 1.2x smoke).  The ``lsh`` backend's speedup is recorded but
+  not enforced — its banded multi-probe lookup has a higher fixed cost
+  per query, which the small smoke KB cannot amortise.
+* **recall@k** — fraction of the oracle's candidate set the indexed
+  generator reproduces.  Enforced for *both* backends in *both* modes
+  (``CANDIDATE_RECALL_FLOOR``): recall is a correctness property.
+
+The ngram backend runs with ``max_df_ratio=0.02`` — the stop-gram cap
+tuned for 10^5-entity KBs (grams in >2% of a KB this size carry no
+signal and own the most expensive postings lists).  Results merge into
+the shared serving report under the ``"candidates"`` section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from _shared import (
+    CANDIDATE_RECALL_FLOOR,
+    update_bench_report,
+    candidate_speedup_floor,
+)
+from repro.core.candidates import FuzzyFallbackCandidateGenerator
+from repro.datasets.synthesis import DatasetProfile, synthesize_kb
+from repro.graph.index import InvertedIndex
+from repro.graph.schema import extended_medical_schema
+from repro.retrieval import IndexedCandidateGenerator, RetrievalConfig
+from repro.text.embedder import HashingNgramEmbedder
+from repro.text.variants import VariantKind, applicable_kinds, generate_variant
+
+FULL_NODES = 200_000
+SMOKE_NODES = 30_000
+FULL_QUERIES = 300
+SMOKE_QUERIES = 60
+SEED = 11
+
+# Capacity-safe type mix: Symptom/Finding/AdverseEffect share one base-name
+# pool in the vocabulary, so their combined share must stay small; Drug and
+# Procedure have the deepest namespaces and carry the bulk of the KB.
+TYPE_MIX = {
+    "Procedure": 0.50,
+    "Drug": 0.32,
+    "LabTest": 0.06,
+    "Disease": 0.045,
+    "Symptom": 0.04,
+    "Finding": 0.025,
+    "AdverseEffect": 0.01,
+}
+
+# Tuned ngram operating point for 10^5-entity KBs (see module docstring).
+NGRAM_MAX_DF_RATIO = 0.02
+
+
+def _build_kb(num_nodes: int):
+    profile = DatasetProfile(
+        name="bench-candidates",
+        schema_factory=extended_medical_schema,
+        num_nodes=num_nodes,
+        num_edges=2 * num_nodes,
+        num_snippets=10,
+        type_mix=dict(TYPE_MIX),
+    )
+    return synthesize_kb(profile, np.random.default_rng(SEED))
+
+
+def _mention_corpus(kb, index: InvertedIndex, names: List[str], count: int) -> List[str]:
+    """Typo'd (70%) / abbreviated (30%) surfaces that miss the inverted
+    index — exactly the mentions the fuzzy fallback exists for."""
+    rng = np.random.default_rng(SEED + 31)
+    corpus: List[str] = []
+    while len(corpus) < count:
+        node = int(rng.integers(0, kb.num_nodes))
+        kind = VariantKind.TYPO if rng.random() < 0.7 else VariantKind.ABBREVIATION
+        if kind not in applicable_kinds(names[node]):
+            continue
+        surface = generate_variant(names[node], kind, rng)
+        if surface is None or index.lookup(surface):
+            continue
+        corpus.append(surface)
+    return corpus
+
+
+def _time_generator(gen, queries: List[str]) -> tuple:
+    outputs = [gen.candidates_for(s) for s in queries]
+    start = time.perf_counter()
+    outputs = [gen.candidates_for(s) for s in queries]
+    elapsed = time.perf_counter() - start
+    return elapsed, outputs
+
+
+def _recall(oracle_out, indexed_out) -> float:
+    hits = total = 0
+    for oracle_ids, indexed_ids in zip(oracle_out, indexed_out):
+        want = set(oracle_ids.tolist())
+        total += len(want)
+        hits += len(want & set(indexed_ids.tolist()))
+    return hits / total if total else 1.0
+
+
+def run(args: argparse.Namespace) -> int:
+    num_nodes = SMOKE_NODES if args.smoke else FULL_NODES
+    num_queries = SMOKE_QUERIES if args.smoke else FULL_QUERIES
+    mode = "smoke" if args.smoke else "full"
+    speedup_floor = candidate_speedup_floor(args.smoke)
+
+    print(f"synthesising {num_nodes} entity KB ({mode} mode)...")
+    start = time.perf_counter()
+    kb = _build_kb(num_nodes)
+    print(f"  KB built in {time.perf_counter() - start:.1f}s")
+
+    embedder = HashingNgramEmbedder(dim=128)
+    index = InvertedIndex(kb)
+    names = [kb.node_name(v) for v in range(kb.num_nodes)]
+    start = time.perf_counter()
+    name_matrix = embedder.embed_batch(names)
+    print(f"  name matrix embedded in {time.perf_counter() - start:.1f}s")
+    queries = _mention_corpus(kb, index, names, num_queries)
+
+    oracle = FuzzyFallbackCandidateGenerator(
+        kb, index=index, embedder=embedder, name_matrix=name_matrix
+    )
+    configs = {
+        "ngram": RetrievalConfig(backend="ngram", max_df_ratio=NGRAM_MAX_DF_RATIO),
+        "lsh": RetrievalConfig(backend="lsh"),
+    }
+    generators = {}
+    for backend, config in configs.items():
+        start = time.perf_counter()
+        generators[backend] = IndexedCandidateGenerator(
+            kb,
+            index=index,
+            embedder=embedder,
+            name_matrix=name_matrix,
+            retrieval=config,
+        )
+        print(f"  {backend} index built in {time.perf_counter() - start:.1f}s")
+
+    oracle_elapsed, oracle_out = _time_generator(oracle, queries)
+    oracle_ms = 1000.0 * oracle_elapsed / len(queries)
+    print(f"oracle (linear fuzzy scan): {oracle_ms:.2f} ms/query")
+
+    failures: List[str] = []
+    backends_payload: Dict[str, dict] = {}
+    for backend, gen in generators.items():
+        elapsed, out = _time_generator(gen, queries)
+        ms = 1000.0 * elapsed / len(queries)
+        speedup = oracle_elapsed / elapsed
+        recall = _recall(oracle_out, out)
+        identical = sum(
+            int(np.array_equal(o, g)) for o, g in zip(oracle_out, out)
+        )
+        enforced = backend == "ngram"
+        print(
+            f"{backend}: {ms:.2f} ms/query  speedup {speedup:.2f}x"
+            f"{'' if enforced else ' (recorded)'}  recall {recall:.4f}"
+            f"  identical {identical}/{len(queries)}"
+        )
+        if enforced and speedup < speedup_floor:
+            failures.append(
+                f"{backend} speedup {speedup:.2f}x below floor {speedup_floor:.2f}x"
+            )
+        if recall < CANDIDATE_RECALL_FLOOR:
+            failures.append(
+                f"{backend} recall {recall:.4f} below floor {CANDIDATE_RECALL_FLOOR:.2f}"
+            )
+        backends_payload[backend] = {
+            "ms_per_query": round(ms, 3),
+            "speedup": round(speedup, 3),
+            "speedup_enforced": enforced,
+            "recall": round(recall, 4),
+            "identical": identical,
+            "config": configs[backend].to_dict(),
+        }
+
+    payload = {
+        "mode": mode,
+        "num_nodes": num_nodes,
+        "num_queries": len(queries),
+        "oracle_ms_per_query": round(oracle_ms, 3),
+        "speedup_floor": speedup_floor,
+        "recall_floor": CANDIDATE_RECALL_FLOOR,
+        "backends": backends_payload,
+    }
+    update_bench_report(args.report, "candidates", payload)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("all candidate-retrieval floors met")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small KB + loose speedup floor for CI smoke runs",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="JSON report path to merge the 'candidates' section into",
+    )
+    return run(parser.parse_args())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ See ``repro config dump`` for a starting config and
 ``examples/serving_quickstart.py`` for the end-to-end flow.
 """
 
+from ..retrieval import RetrievalConfig  # noqa: F401  (the config's retrieval section)
 from .config import CONFIG_SCHEMA_VERSION, LinkerConfig  # noqa: F401
 from .linker import LINKER_CONFIG_FILE, Linker  # noqa: F401
 from .registry import (  # noqa: F401
@@ -33,6 +34,7 @@ from .registry import (  # noqa: F401
 __all__ = [
     "Linker",
     "LinkerConfig",
+    "RetrievalConfig",
     "CONFIG_SCHEMA_VERSION",
     "LINKER_CONFIG_FILE",
     "Registry",

@@ -5,7 +5,11 @@ One frozen dataclass describes a full linker: the nested
 :class:`~repro.core.trainer.TrainConfig` /
 :class:`~repro.serving.ServiceConfig`, plus the *names* of the pluggable
 components (candidate generator, NER, embedder — see
-:mod:`repro.api.registry`) and their kwargs.  The service section covers
+:mod:`repro.api.registry`) and their kwargs.  The ``retrieval`` section
+(:class:`~repro.retrieval.RetrievalConfig`) shapes the sublinear
+shortlist backends the ``"indexed"`` candidate generator uses; the
+generator name itself defaults from ``REPRO_CANDIDATES``.  The service
+section covers
 the full serving surface, shard execution backend included
 (``ServiceConfig(num_shards=4, shard_backend="process")`` declares a
 process-worker sharded service) as well as the HTTP front door
@@ -32,6 +36,7 @@ from ..core.serialization import (
 )
 from ..core.model import ModelConfig
 from ..core.trainer import TrainConfig
+from ..retrieval.base import RetrievalConfig, default_candidate_generator
 from ..serving.service import ServiceConfig
 from .registry import CANDIDATE_GENERATORS, EMBEDDERS, ENCODERS, NERS
 
@@ -46,6 +51,7 @@ _TOP_LEVEL_KEYS = frozenset(
         "model",
         "train",
         "service",
+        "retrieval",
         "augment_query_graphs",
         "candidate_generator",
         "candidate_generator_kwargs",
@@ -80,8 +86,11 @@ class LinkerConfig:
     model: ModelConfig = field(default_factory=ModelConfig)
     train: TrainConfig = field(default_factory=TrainConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
     augment_query_graphs: bool = True
-    candidate_generator: str = "exact"
+    # Defaults from REPRO_CANDIDATES so CI can run the whole suite under
+    # a different generator (mirrors REPRO_KB_STORE / REPRO_SHARD_BACKEND).
+    candidate_generator: str = field(default_factory=default_candidate_generator)
     candidate_generator_kwargs: dict = field(default_factory=dict)
     ner: str = "dictionary"
     ner_kwargs: dict = field(default_factory=dict)
@@ -107,6 +116,11 @@ class LinkerConfig:
                 raise ValueError(
                     f"unknown {registry.kind} {name!r}; options: {registry.names()}"
                 )
+        if not isinstance(self.retrieval, RetrievalConfig):
+            raise ValueError(
+                "LinkerConfig.retrieval must be a RetrievalConfig, got "
+                f"{type(self.retrieval).__name__}"
+            )
         # Baseline systems live in the encoder table so `repro evaluate`
         # dispatches through one registry, but they are pair classifiers
         # a Linker cannot construct — a config that parses must construct.
@@ -130,6 +144,7 @@ class LinkerConfig:
             "model": model_config_to_dict(self.model),
             "train": train_config_to_dict(self.train),
             "service": asdict(self.service),
+            "retrieval": self.retrieval.to_dict(),
             "augment_query_graphs": self.augment_query_graphs,
             "candidate_generator": self.candidate_generator,
             "candidate_generator_kwargs": dict(self.candidate_generator_kwargs),
@@ -161,6 +176,10 @@ class LinkerConfig:
         if "service" in payload:
             kwargs["service"] = _nested_from_dict(
                 "service", payload["service"], lambda p: ServiceConfig(**p)
+            )
+        if "retrieval" in payload:
+            kwargs["retrieval"] = _nested_from_dict(
+                "retrieval", payload["retrieval"], lambda p: RetrievalConfig(**p)
             )
         for key in (
             "augment_query_graphs",

@@ -71,10 +71,13 @@ class Linker:
         embedder_kwargs = dict(config.embedder_kwargs)
         embedder_kwargs.setdefault("dim", config.model.feature_dim)
         embedder = EMBEDDERS.get(config.embedder)(**embedder_kwargs)
-        generator = partial(
-            CANDIDATE_GENERATORS.get(config.candidate_generator),
-            **config.candidate_generator_kwargs,
-        )
+        generator_factory = CANDIDATE_GENERATORS.get(config.candidate_generator)
+        generator_kwargs = dict(config.candidate_generator_kwargs)
+        if getattr(generator_factory, "consumes_retrieval_config", False):
+            # Only retrieval-aware factories (the "indexed" generator) see
+            # the retrieval section; plain ones keep their old signature.
+            generator_kwargs.setdefault("retrieval", config.retrieval)
+        generator = partial(generator_factory, **generator_kwargs)
         ner = partial(NERS.get(config.ner), **config.ner_kwargs)
         pipeline = EDPipeline(
             kb,
@@ -91,11 +94,20 @@ class Linker:
     def _infer_config(pipeline: EDPipeline) -> LinkerConfig:
         """Best-effort config for a pipeline built outside the facade
         (legacy checkpoints, direct ``EDPipeline(...)`` construction)."""
+        live = pipeline.candidate_generator
+        name = getattr(live, "name", None)
+        if name not in CANDIDATE_GENERATORS:
+            name = "fuzzy" if pipeline.fuzzy_candidates else "exact"
+        extra = {}
+        retrieval = getattr(live, "retrieval_config", None)
+        if retrieval is not None:
+            extra["retrieval"] = retrieval
         return LinkerConfig(
             model=pipeline.model_config,
             train=pipeline.train_config,
             augment_query_graphs=pipeline.augment,
-            candidate_generator="fuzzy" if pipeline.fuzzy_candidates else "exact",
+            candidate_generator=name,
+            **extra,
             embedder_kwargs={
                 "ngram_range": list(pipeline.embedder.ngram_range),
                 "use_words": pipeline.embedder.use_words,
@@ -113,6 +125,40 @@ class Linker:
             model=self.pipeline.model_config,
             train=self.pipeline.train_config,
         )
+
+    def use_candidate_generator(self, name: str, retrieval=None, **kwargs) -> "Linker":
+        """Swap the pipeline's candidate-generation stage in place.
+
+        ``name`` is a :data:`~repro.api.CANDIDATE_GENERATORS` entry;
+        ``retrieval`` (a :class:`~repro.retrieval.RetrievalConfig` or its
+        dict form) replaces the config's retrieval section — the hook
+        ``repro serve --candidates indexed`` uses to re-point a loaded
+        checkpoint at a packed index bundle.  Returns ``self`` so the
+        call chains into :meth:`serve`.
+        """
+        factory = CANDIDATE_GENERATORS.get(name)
+        changes: dict = {
+            "candidate_generator": name,
+            "candidate_generator_kwargs": dict(kwargs),
+        }
+        if retrieval is not None:
+            if isinstance(retrieval, dict):
+                from ..retrieval import RetrievalConfig
+
+                retrieval = RetrievalConfig(**retrieval)
+            changes["retrieval"] = retrieval
+        config = replace(self._config, **changes)
+        call_kwargs = dict(kwargs)
+        if getattr(factory, "consumes_retrieval_config", False):
+            call_kwargs.setdefault("retrieval", config.retrieval)
+        self.pipeline.candidate_generator = factory(
+            self.pipeline.kb,
+            index=self.pipeline.index,
+            embedder=self.pipeline.embedder,
+            **call_kwargs,
+        )
+        self._config = config
+        return self
 
     # ------------------------------------------------------------------
     # Engine delegation

@@ -5,8 +5,9 @@ NER, the text embedder, and the GNN encoder are independent stages — so
 each stage is a *named* plugin here rather than a constructor flag:
 
 * :data:`CANDIDATE_GENERATORS` — ``"exact"`` (Section 3.1 inverted-index
-  lookup) and ``"fuzzy"`` (approximate lexical retrieval on index
-  misses);
+  lookup), ``"fuzzy"`` (approximate lexical retrieval on index misses)
+  and ``"indexed"`` (the same retrieval through a sublinear shortlist
+  index; see :mod:`repro.retrieval`);
 * :data:`NERS` — ``"dictionary"`` (the simulated-BioBERT greedy
   longest-match recogniser);
 * :data:`EMBEDDERS` — ``"hashing-ngram"`` (the character-n-gram feature
@@ -31,6 +32,7 @@ import numpy as np
 
 from ..core.candidates import ExactCandidateGenerator, FuzzyFallbackCandidateGenerator
 from ..core.model import ENCODER_BUILDERS, register_encoder
+from ..retrieval.generator import IndexedCandidateGenerator
 from ..text.embedder import HashingNgramEmbedder
 from ..text.ner import DictionaryNER, Mention
 
@@ -158,5 +160,6 @@ register_embedder = EMBEDDERS.register
 
 register_candidate_generator("exact", ExactCandidateGenerator)
 register_candidate_generator("fuzzy", FuzzyFallbackCandidateGenerator)
+register_candidate_generator("indexed", IndexedCandidateGenerator)
 register_ner("dictionary", DictionaryNER)
 register_embedder("hashing-ngram", HashingNgramEmbedder)

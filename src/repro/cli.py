@@ -110,6 +110,11 @@ def _linker_config(args: argparse.Namespace, dataset_name: Optional[str] = None)
     variant = args.variant or BEST_VARIANT.get(dataset_name, "magnn")
     layers = args.layers or BEST_LAYERS.get(dataset_name, 3)
     epochs = args.epochs or int(os.environ.get("REPRO_EPOCHS", "80"))
+    extra = {}
+    if getattr(args, "fuzzy", False):
+        # Only name a generator when a flag asks for one: the config's
+        # default honours the REPRO_CANDIDATES environment override.
+        extra["candidate_generator"] = "fuzzy"
     return LinkerConfig(
         model=ModelConfig(variant=variant, num_layers=layers, seed=args.seed),
         train=TrainConfig(
@@ -119,7 +124,7 @@ def _linker_config(args: argparse.Namespace, dataset_name: Optional[str] = None)
             use_hard_negatives=not args.no_hard_negatives,
         ),
         augment_query_graphs=not args.no_augment,
-        candidate_generator="fuzzy" if getattr(args, "fuzzy", False) else "exact",
+        **extra,
     )
 
 
@@ -307,6 +312,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.deadline_ms <= 0:
             raise ValueError("--deadline-ms must be > 0")
+        if args.candidates is not None:
+            retrieval = None
+            if args.kb_bundle is not None:
+                # Point the indexed generator's loader at the served
+                # bundle so a packed index (repro kb pack --with-index)
+                # is memory-mapped instead of rebuilt on startup.
+                from dataclasses import replace
+
+                retrieval = replace(
+                    linker.config.retrieval, bundle_path=args.kb_bundle
+                )
+            linker.use_candidate_generator(args.candidates, retrieval=retrieval)
         storage = None
         kb_store = args.kb_store
         if kb_store is None and args.kb_bundle is not None:
@@ -441,12 +458,29 @@ def _cmd_kb_pack(args: argparse.Namespace) -> int:
     (unless ``--no-embeddings``) the reference-embedding matrix as plain
     ``.npy`` files plus a fingerprinted manifest, ready for
     ``repro serve --kb-store mmap --kb-bundle DIR`` to memory-map —
-    startup then skips the embedding forward entirely."""
+    startup then skips the embedding forward entirely.  ``--with-index``
+    additionally packs a sublinear candidate-retrieval index so
+    ``repro serve --candidates indexed`` maps it instead of rebuilding."""
     from repro.storage import pack_bundle
 
     linker = _load_checkpoint(args.checkpoint)
+    retrieval_index = None
+    if args.with_index:
+        from dataclasses import replace
+
+        from repro.retrieval import build_retrieval_index
+
+        retrieval = linker.config.retrieval
+        if args.index_backend is not None:
+            retrieval = replace(retrieval, backend=args.index_backend)
+        retrieval_index = build_retrieval_index(
+            linker.pipeline.kb, retrieval, embedder=linker.pipeline.embedder
+        )
     manifest = pack_bundle(
-        linker.pipeline, args.out, embeddings=not args.no_embeddings
+        linker.pipeline,
+        args.out,
+        embeddings=not args.no_embeddings,
+        retrieval_index=retrieval_index,
     )
     if args.json:
         print(json.dumps({"bundle": args.out, "manifest": manifest}))
@@ -462,6 +496,13 @@ def _cmd_kb_pack(args: argparse.Namespace) -> int:
             )
         else:
             print("  h_ref     (not packed; serve computes it on startup)")
+        if manifest.get("retrieval") is not None:
+            entry = manifest["retrieval"]
+            arrays = ", ".join(sorted(entry["arrays"]))
+            print(
+                f"  retrieval {entry['backend']} index "
+                f"(fingerprint {entry['fingerprint']}; arrays: {arrays})"
+            )
     return 0
 
 
@@ -735,6 +776,14 @@ def build_parser() -> argparse.ArgumentParser:
         "long-lived worker processes (true parallelism, one GIL per shard)",
     )
     p.add_argument(
+        "--candidates",
+        default=None,
+        choices=["exact", "fuzzy", "indexed"],
+        help="candidate generator override: 'indexed' retrieves through a "
+        "sublinear shortlist index (REPRO_CANDIDATES sets the default; "
+        "with --kb-bundle a packed index is memory-mapped, not rebuilt)",
+    )
+    p.add_argument(
         "--http",
         type=int,
         default=None,
@@ -776,6 +825,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-embeddings",
         action="store_true",
         help="pack only the feature matrix (serve recomputes embeddings)",
+    )
+    k.add_argument(
+        "--with-index",
+        action="store_true",
+        help="also pack a sublinear candidate-retrieval index for "
+        "`repro serve --candidates indexed` (postings/signatures are "
+        "memory-mapped at serve time)",
+    )
+    k.add_argument(
+        "--index-backend",
+        default=None,
+        choices=["ngram", "lsh"],
+        help="retrieval backend for --with-index (default: the "
+        "checkpoint config's retrieval.backend)",
     )
     k.add_argument("--json", action="store_true")
     k.set_defaults(func=_cmd_kb_pack)

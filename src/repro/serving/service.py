@@ -283,6 +283,11 @@ class LinkingService:
             backend=self.config.shard_backend,
             storage=self.config.storage,
             ref_features=x_ref,
+            # An indexed generator's retrieval index rides along so each
+            # shard carries its local slice of the postings/signatures.
+            retrieval_index=getattr(
+                self.pipeline.candidate_generator, "retrieval_index", None
+            ),
         )
 
     @property
@@ -339,11 +344,13 @@ class LinkingService:
         hits = misses = 0
         for i, snippet in enumerate(snippets):
             qg = self._build_query_graph(snippet)
+            t0 = perf_counter()
             candidates = self.pipeline.candidate_ids(
                 qg.mention_surface,
                 category=snippet.ambiguous_mention.category,
                 restrict_to_candidates=restrict,
             )
+            self.stats.record_candidates(perf_counter() - t0)
             key = self._cache_key(qg, candidates, restrict) if caching else None
             cached = self._cache.get(key) if caching else None
             if cached is not None:
@@ -408,6 +415,12 @@ class LinkingService:
 
         self.stats.record_request(len(snippets))
         self.stats.record_cache(hits, misses)
+        generator = self.pipeline.candidate_generator
+        self.stats.record_candidate_sources(
+            getattr(generator, "name", type(generator).__name__),
+            getattr(generator, "index_hits", 0),
+            getattr(generator, "fallback_hits", 0),
+        )
         return predictions  # type: ignore[return-value]
 
     def link_texts(

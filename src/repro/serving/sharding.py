@@ -34,6 +34,12 @@ loaded from the persisted ref cache) once and sliced per shard —
 :meth:`ShardedKB.distribute` re-slices after a weight refresh without
 touching the shard views, and pushes the fresh slices (plus the
 refreshed matcher state) to live process workers.
+
+When built with a ``retrieval_index`` (see :mod:`repro.retrieval`), each
+shard also carries its slice of the sublinear candidate index —
+:meth:`ShardedKB.candidates_for` fans a surface form across the shards
+and unions the shard-local shortlists, on the same thread/process
+backends as scoring.
 """
 
 from __future__ import annotations
@@ -49,8 +55,11 @@ from ..autograd import Tensor, no_grad
 from ..core.pipeline import EDPipeline
 from ..core.query_graph import QueryGraph
 from ..graph.hetero import HeteroGraph
+from ..retrieval.base import RetrievalIndex
 from ..storage import StorageConfig, shared_memory_available
 from .workers import (
+    CandidateJob,
+    RetrievalSpec,
     ScoreJob,
     ScorerSpec,
     ShardPayload,
@@ -76,6 +85,9 @@ class KBShard:
     h_ref: np.ndarray
     x_ref: np.ndarray
     kb: HeteroGraph
+    #: shard-local slice of the sublinear candidate index (global ids),
+    #: present when the ``ShardedKB`` was built with one
+    retrieval: Optional[RetrievalIndex] = None
     _view: Optional[HeteroGraph] = None
 
     @property
@@ -107,6 +119,7 @@ class ShardedKB:
         backend: Optional[str] = None,
         storage: Optional[StorageConfig] = None,
         ref_features: Optional[np.ndarray] = None,
+        retrieval_index: Optional[RetrievalIndex] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -114,6 +127,7 @@ class ShardedKB:
         self.num_shards = num_shards
         self.backend = resolve_shard_backend(backend)
         self.storage = storage or StorageConfig()
+        self.retrieval_index = retrieval_index
         # Warm start: reuse an already-computed (or cache-loaded) matrix
         # instead of re-embedding the KB per shard.
         h_ref = pipeline.ref_embeddings() if ref_embeddings is None else np.asarray(ref_embeddings)
@@ -136,6 +150,11 @@ class ShardedKB:
                     h_ref=np.ascontiguousarray(h_ref[node_ids]),
                     x_ref=np.ascontiguousarray(features[node_ids]),
                     kb=kb,
+                    retrieval=(
+                        None
+                        if retrieval_index is None
+                        else retrieval_index.slice_for(node_ids)
+                    ),
                 )
             )
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -177,6 +196,11 @@ class ShardedKB:
                 x_ref=shard.x_ref,
                 scorer=scorer,
                 view=None if use_arena else shard.view,
+                retrieval=(
+                    None
+                    if shard.retrieval is None
+                    else RetrievalSpec.from_index(shard.retrieval)
+                ),
             )
             for shard in self.shards
         ]
@@ -326,6 +350,55 @@ class ShardedKB:
             h_qry = model.embed(compiled, x_qry)
         mention_ids = np.full(len(candidate_ids), qg.mention_node, dtype=np.int64)
         return self.score_pairs_flat(h_qry, mention_ids, candidate_ids, x_query=x_qry)
+
+    # ------------------------------------------------------------------
+    # Candidate shortlisting
+    # ------------------------------------------------------------------
+    def candidates_for(
+        self, surface: str, query_vec: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Union of the shard-local retrieval shortlists for a surface.
+
+        Each shard's slice keeps global node ids and the full index's
+        global weights (idf/norms for n-gram, hyperplanes for LSH), so a
+        shard's local top-``shortlist`` is at least as deep as the global
+        ranking restricted to its nodes — the union is a superset of the
+        unsharded shortlist.  ``query_vec`` is the surface's embedder
+        vector; the LSH backend requires it on the process backend
+        (workers hold no embedder).  Returns sorted unique int64 ids.
+        """
+        shards = [shard for shard in self.shards if shard.retrieval is not None]
+        if not shards:
+            raise RuntimeError(
+                "ShardedKB was built without a retrieval index; "
+                "pass retrieval_index= to shard candidate shortlisting"
+            )
+        if query_vec is not None:
+            query_vec = np.ascontiguousarray(query_vec, dtype=np.float32)
+        if self._pool is not None:
+            jobs = [
+                CandidateJob(
+                    shard_index=shard.index, surface=surface, query_vec=query_vec
+                )
+                for shard in shards
+            ]
+            parts = self._pool.score_many(jobs)
+        elif self._executor is not None and len(shards) > 1:
+            futures = [
+                self._executor.submit(
+                    shard.retrieval.query, surface, query_vec=query_vec
+                )
+                for shard in shards
+            ]
+            parts = [future.result() for future in futures]
+        else:
+            parts = [
+                shard.retrieval.query(surface, query_vec=query_vec)
+                for shard in shards
+            ]
+        return np.unique(
+            np.concatenate([np.asarray(part, dtype=np.int64) for part in parts])
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -45,9 +45,20 @@ class ServiceStats:
     arena_segments: int = 0
     publishes: int = 0  # warm-start distribute() calls
     publish_seconds: float = 0.0  # wall time inside those publishes
+    # Candidate-generation telemetry (repro.retrieval): which generator
+    # serves candidates, wall time in the candidate stage, and how often
+    # the inverted index answered outright vs the fallback retrieval ran
+    # (gauges snapshotted from the generator's own counters).
+    candidate_generator: str = "exact"
+    candidate_lookups: int = 0  # candidate_ids calls timed
+    candidate_seconds: float = 0.0  # wall time in the candidate stage
+    candidate_index_hits: int = 0
+    candidate_fallbacks: int = 0
     # submit -> result / submit -> batch formed, most recent LATENCY_WINDOW
     latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     queue_waits_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    # per-lookup candidate-stage latency, most recent LATENCY_WINDOW
+    candidate_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     # ------------------------------------------------------------------
     # Recording
@@ -86,6 +97,20 @@ class ServiceStats:
         self.latencies_ms.append(total_seconds * 1000.0)
         self.queue_waits_ms.append(queue_wait_seconds * 1000.0)
 
+    def record_candidates(self, seconds: float) -> None:
+        """One candidate-generation lookup and its wall time."""
+        self.candidate_lookups += 1
+        self.candidate_seconds += seconds
+        self.candidate_ms.append(seconds * 1000.0)
+
+    def record_candidate_sources(
+        self, generator: str, index_hits: int, fallbacks: int
+    ) -> None:
+        """Snapshot of the generator's lifetime hit/fallback counters."""
+        self.candidate_generator = generator
+        self.candidate_index_hits = index_hits
+        self.candidate_fallbacks = fallbacks
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -122,6 +147,12 @@ class ServiceStats:
             return 0.0
         return float(np.percentile(np.asarray(self.queue_waits_ms), p))
 
+    def candidate_percentile(self, p: float) -> float:
+        """p-th percentile of candidate-stage latency in ms (sliding window)."""
+        if not self.candidate_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.candidate_ms), p))
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -143,7 +174,17 @@ class ServiceStats:
             "arena_segments": self.arena_segments,
             "publishes": self.publishes,
             "publish_ms": round(self.publish_seconds * 1000.0, 2),
+            "candidate_generator": self.candidate_generator,
+            "candidate_lookups": self.candidate_lookups,
+            "candidate_index_hits": self.candidate_index_hits,
+            "candidate_fallbacks": self.candidate_fallbacks,
+            "candidate_seconds": round(self.candidate_seconds, 4),
         }
+        if self.candidate_ms:
+            payload.update(
+                candidate_p50_ms=round(self.candidate_percentile(50), 3),
+                candidate_p95_ms=round(self.candidate_percentile(95), 3),
+            )
         if self.latencies_ms:
             # Only async serving records latencies; the sync service's
             # payload keeps its original shape.
@@ -176,6 +217,10 @@ class ServiceStats:
             ("compute_seconds_total", self.compute_seconds, "wall time in batched forwards"),
             ("storage_publishes_total", self.publishes, "warm-start distribute() publishes"),
             ("storage_publish_seconds_total", self.publish_seconds, "wall time in publishes"),
+            ("candidates_lookups_total", self.candidate_lookups, "candidate-generation lookups"),
+            ("candidates_seconds_total", self.candidate_seconds, "wall time in candidate generation"),
+            ("candidates_index_hits_total", self.candidate_index_hits, "inverted-index candidate hits"),
+            ("candidates_fallbacks_total", self.candidate_fallbacks, "fallback retrieval invocations"),
         ]
         gauges = [
             ("cache_hit_rate", self.cache_hit_rate, "result cache hit rate"),
@@ -213,10 +258,24 @@ class ServiceStats:
                     )
             lines.append(f"{prefix}_{name}_count {len(self.latencies_ms)}")
         lines += [
-            # Info-style metric carrying the backend name as a label.
+            f"# HELP {prefix}_candidates_stage_ms candidate-stage latency (sliding window)",
+            f"# TYPE {prefix}_candidates_stage_ms summary",
+        ]
+        if self.candidate_ms:
+            for quantile in (0.5, 0.95):
+                lines.append(
+                    f'{prefix}_candidates_stage_ms{{quantile="{quantile}"}} '
+                    f"{self.candidate_percentile(quantile * 100)}"
+                )
+        lines.append(f"{prefix}_candidates_stage_ms_count {len(self.candidate_ms)}")
+        lines += [
+            # Info-style metrics carrying backend/generator names as labels.
             f"# HELP {prefix}_storage_info KB/embedding storage backend",
             f"# TYPE {prefix}_storage_info gauge",
             f'{prefix}_storage_info{{backend="{self.storage_backend}"}} 1',
+            f"# HELP {prefix}_candidates_info candidate generator in service",
+            f"# TYPE {prefix}_candidates_info gauge",
+            f'{prefix}_candidates_info{{generator="{self.candidate_generator}"}} 1',
         ]
         return "\n".join(lines) + "\n"
 
@@ -234,5 +293,11 @@ class ServiceStats:
         self.arena_segments = 0
         self.publishes = 0
         self.publish_seconds = 0.0
+        self.candidate_generator = "exact"
+        self.candidate_lookups = 0
+        self.candidate_seconds = 0.0
+        self.candidate_index_hits = 0
+        self.candidate_fallbacks = 0
         self.latencies_ms = deque(maxlen=LATENCY_WINDOW)
         self.queue_waits_ms = deque(maxlen=LATENCY_WINDOW)
+        self.candidate_ms = deque(maxlen=LATENCY_WINDOW)

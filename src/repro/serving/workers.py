@@ -21,7 +21,11 @@ each shard into its own long-lived worker **process**:
 * thereafter the pipe only carries compact score requests (the chunk's
   query embedding matrix + aligned id arrays) and score replies, so the
   steady-state IPC per micro-batch is a few KB while the per-shard
-  gather/matmul work runs on a private interpreter and GIL;
+  gather/matmul work runs on a private interpreter and GIL; a payload
+  may also carry a :class:`RetrievalSpec` — the shard's slice of the
+  sublinear candidate index (:mod:`repro.retrieval`) — and then
+  ``candidates`` requests (surface + query vector) fan shortlist lookups
+  across the same workers;
 * :meth:`ShardWorkerPool.distribute` warm-starts live workers after a
   weight refresh (new embedding slice + new scorer state, no restart);
 * a crashed worker is respawned from its retained payload and the
@@ -57,11 +61,14 @@ from ..autograd import Tensor, enable_grad, gather, no_grad
 from ..autograd.ops import rows_dot
 from ..core.matching import make_matcher
 from ..graph.hetero import HeteroGraph
+from ..retrieval.base import RetrievalConfig, RetrievalIndex, index_from_arrays
 from ..storage.arena import ArraySpec, SharedMemoryArena, attach_array
 
 __all__ = [
     "SHARD_BACKENDS",
+    "CandidateJob",
     "PairScorer",
+    "RetrievalSpec",
     "ScorerSpec",
     "ShardPayload",
     "ShardPayloadHandle",
@@ -218,13 +225,61 @@ class PairScorer:
 
 
 @dataclass
+class RetrievalSpec:
+    """Picklable recipe for a shard-local retrieval index slice.
+
+    The live :class:`~repro.retrieval.base.RetrievalIndex` is not shipped
+    (an LSH slice may hold an embedder, and a packed index may wrap
+    memory-mapped views); instead the worker rebuilds the slice from its
+    flat arrays via :func:`~repro.retrieval.base.index_from_arrays`.  With
+    an arena, ``arrays`` carries :class:`ArraySpec` descriptors instead of
+    the arrays themselves — the worker maps the parent-owned segments
+    read-only, so N workers share one copy of the postings/signatures.
+
+    Workers never embed: candidate requests carry the query vector (the
+    LSH backend needs it; the n-gram backend queries by surface alone).
+    """
+
+    backend: str
+    config: dict  # RetrievalConfig kwargs (JSON-compatible)
+    params: dict
+    arrays: Dict[str, Union[np.ndarray, ArraySpec]]
+
+    @classmethod
+    def from_index(cls, index: RetrievalIndex) -> "RetrievalSpec":
+        return cls(
+            backend=index.backend,
+            config=index.config.to_dict(),
+            params=index.params(),
+            arrays=dict(index.arrays()),
+        )
+
+    def build(self, segments: Optional[list] = None) -> RetrievalIndex:
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.arrays.items():
+            if isinstance(value, ArraySpec):
+                array, segment = attach_array(value)
+                if segments is not None:
+                    segments.append(segment)
+                arrays[name] = array
+            else:
+                arrays[name] = value
+        return index_from_arrays(
+            self.backend, RetrievalConfig(**self.config), self.params, arrays
+        )
+
+
+@dataclass
 class ShardPayload:
     """Everything a worker needs, shipped exactly once at (re)spawn.
 
     ``view`` is the shard-local induced subgraph — the worker does not
     need it for pair scoring (the parent ships embeddings), but it gives
     a future worker-side re-embedding path the full node/edge context,
-    and it makes the payload self-describing for debugging.
+    and it makes the payload self-describing for debugging.  ``retrieval``
+    is the shard's slice of the sublinear candidate index (when the
+    serving layer has one), so candidate shortlisting can fan out across
+    the same workers as pair scoring.
     """
 
     index: int
@@ -234,6 +289,7 @@ class ShardPayload:
     x_ref: np.ndarray
     scorer: ScorerSpec
     view: Optional[HeteroGraph] = None
+    retrieval: Optional[RetrievalSpec] = None
 
 
 @dataclass
@@ -252,6 +308,7 @@ class ShardPayloadHandle:
     x_ref: ArraySpec
     scorer: ScorerSpec
     version: int = 0  # arena publish version at ship time
+    retrieval: Optional[RetrievalSpec] = None  # arrays as ArraySpec descriptors
 
 
 def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
@@ -272,6 +329,9 @@ def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
         h_ref = payload.h_ref
         x_ref = payload.x_ref
     scorer = payload.scorer.build()
+    retrieval = (
+        payload.retrieval.build(segments) if payload.retrieval is not None else None
+    )
     connection.send(("ready", payload.index))
     while True:
         try:
@@ -300,6 +360,17 @@ def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
             except Exception as exc:
                 connection.send(("err", seq, f"{type(exc).__name__}: {exc}"))
             continue
+        if kind == "candidates":
+            _, seq, surface, query_vec = message
+            try:
+                if retrieval is None:
+                    ids = np.zeros(0, dtype=np.int64)
+                else:
+                    ids = retrieval.query(surface, query_vec=query_vec)
+                connection.send(("ok", seq, ids))
+            except Exception as exc:
+                connection.send(("err", seq, f"{type(exc).__name__}: {exc}"))
+            continue
         connection.send(("err", None, f"unknown message kind {kind!r}"))
 
 
@@ -323,6 +394,19 @@ class ScoreJob:
     query_ids: np.ndarray
     ref_ids: np.ndarray
     x_query: Optional[np.ndarray] = None
+
+
+@dataclass
+class CandidateJob:
+    """One shard's slice of a candidate fan-out: query the shard-local
+    retrieval index for a surface form.  ``query_vec`` is the surface's
+    embedder vector, computed once in the parent (workers hold no
+    embedder; the LSH backend needs the vector, the n-gram backend
+    queries by surface alone).  The reply carries *global* node ids."""
+
+    shard_index: int
+    surface: str
+    query_vec: Optional[np.ndarray] = None
 
 
 class ShardWorkerPool:
@@ -377,6 +461,13 @@ class ShardWorkerPool:
                     self._arena.publish(f"{payload.index}:node_ids", payload.node_ids)
                     self._arena.publish(f"{payload.index}:h_ref", payload.h_ref)
                     self._arena.publish(f"{payload.index}:x_ref", payload.x_ref)
+                    if payload.retrieval is not None:
+                        # Postings/signature arrays are read-only at query
+                        # time, so N workers share the parent's one copy.
+                        for name, array in payload.retrieval.arrays.items():
+                            self._arena.publish(
+                                f"{payload.index}:retrieval:{name}", array
+                            )
             for index in range(len(payloads)):
                 self._workers.append(self._spawn(index))
         except BaseException:
@@ -404,6 +495,17 @@ class ShardWorkerPool:
         payload = self._payloads[index]
         if self._arena is None:
             return payload
+        retrieval = payload.retrieval
+        if retrieval is not None:
+            retrieval = RetrievalSpec(
+                backend=retrieval.backend,
+                config=retrieval.config,
+                params=retrieval.params,
+                arrays={
+                    name: self._arena.spec(f"{payload.index}:retrieval:{name}")
+                    for name in retrieval.arrays
+                },
+            )
         return ShardPayloadHandle(
             index=payload.index,
             num_shards=payload.num_shards,
@@ -412,6 +514,7 @@ class ShardWorkerPool:
             x_ref=self._arena.spec(f"{payload.index}:x_ref"),
             scorer=payload.scorer,
             version=self._arena.version,
+            retrieval=retrieval,
         )
 
     def _ship(self, connection, message: tuple) -> None:
@@ -567,13 +670,18 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def score_many(self, jobs: Sequence[ScoreJob]) -> List[np.ndarray]:
-        """Score every job, overlapping the shard workers.
+    def score_many(
+        self, jobs: Sequence[Union[ScoreJob, CandidateJob]]
+    ) -> List[np.ndarray]:
+        """Run every job, overlapping the shard workers.
 
         Requests are written to all target workers first, then replies
         are gathered, so distinct shards compute concurrently.  A worker
         that crashed mid-batch is respawned from its retained payload and
-        its request is retried.
+        its request is retried.  Jobs may mix pair scoring
+        (:class:`ScoreJob`) and candidate shortlisting
+        (:class:`CandidateJob`); both follow the same seq-matched
+        request/reply protocol.
         """
         self._begin()
         try:
@@ -582,7 +690,9 @@ class ShardWorkerPool:
         finally:
             self._end()
 
-    def _score_many_locked(self, jobs: Sequence[ScoreJob]) -> List[np.ndarray]:
+    def _score_many_locked(
+        self, jobs: Sequence[Union[ScoreJob, CandidateJob]]
+    ) -> List[np.ndarray]:
         results: List[Optional[np.ndarray]] = [None] * len(jobs)
         sent: List[Tuple[int, int]] = []  # (job position, seq)
         retry: List[int] = []
@@ -633,7 +743,7 @@ class ShardWorkerPool:
             results[position] = self._retry_job(jobs[position])
         return results  # type: ignore[return-value]
 
-    def _retry_job(self, job: ScoreJob) -> np.ndarray:
+    def _retry_job(self, job: Union[ScoreJob, CandidateJob]) -> np.ndarray:
         """Respawn the job's (crashed) worker and replay the request."""
         for attempt in range(self.max_respawns):
             self._respawn(job.shard_index)
@@ -650,7 +760,9 @@ class ShardWorkerPool:
         )
 
     @staticmethod
-    def _score_message(seq: int, job: ScoreJob) -> tuple:
+    def _score_message(seq: int, job: Union[ScoreJob, CandidateJob]) -> tuple:
+        if isinstance(job, CandidateJob):
+            return ("candidates", seq, job.surface, job.query_vec)
         return ("score", seq, job.h_query, job.x_query, job.query_ids, job.ref_ids)
 
     @staticmethod

@@ -4,9 +4,12 @@ A *bundle* is a directory of plain ``.npy`` files plus a strict JSON
 manifest::
 
     bundle/
-      manifest.json   {"schema_version": 1, "features": {...}, "h_ref": {...}}
+      manifest.json   {"schema_version": 1, "features": {...}, "h_ref": {...},
+                       "retrieval": {...}}
       features.npy    the KB node feature matrix (x_ref)
       h_ref.npy       the reference-embedding matrix (optional)
+      retrieval_*.npy packed candidate-retrieval index arrays (optional;
+                      see :mod:`repro.retrieval.pack`)
 
 ``repro kb pack`` builds one from a checkpoint; :class:`MmapStore`
 serves it with ``np.load(..., mmap_mode="r")``, so the matrices live in
@@ -49,7 +52,9 @@ __all__ = [
     "content_fingerprint",
     "features_crc",
     "pack_bundle",
+    "read_manifest",
     "weights_crc",
+    "write_manifest",
 ]
 
 BUNDLE_SCHEMA_VERSION = 1
@@ -116,7 +121,9 @@ def _read_manifest(directory: str) -> dict:
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(f"unreadable bundle manifest at {path}: {exc}") from None
     where = f"bundle manifest {path}"
-    ensure_known_keys(manifest, {"schema_version", "features", "h_ref"}, where)
+    ensure_known_keys(
+        manifest, {"schema_version", "features", "h_ref", "retrieval"}, where
+    )
     if manifest.get("schema_version") != BUNDLE_SCHEMA_VERSION:
         raise StorageError(
             f"{where}: schema_version {manifest.get('schema_version')!r} "
@@ -129,20 +136,51 @@ def _read_manifest(directory: str) -> dict:
         ensure_known_keys(
             manifest["h_ref"], {"shape", "dtype", "fingerprint"}, f"{where} h_ref"
         )
+    if manifest.get("retrieval") is not None:
+        retrieval = manifest["retrieval"]
+        ensure_known_keys(
+            retrieval,
+            {"backend", "fingerprint", "config", "params", "arrays"},
+            f"{where} retrieval",
+        )
+        if not isinstance(retrieval.get("arrays"), dict):
+            raise StorageError(f"{where} retrieval: missing arrays entry")
+        for name, entry in retrieval["arrays"].items():
+            ensure_known_keys(
+                entry, {"shape", "dtype", "crc"}, f"{where} retrieval array {name!r}"
+            )
     return manifest
+
+
+# Public aliases: :mod:`repro.retrieval.pack` reads and rewrites the
+# manifest when it packs or refreshes an index entry, and tests assert
+# against the parsed form.
+read_manifest = _read_manifest
+write_manifest = _write_manifest
 
 
 # ----------------------------------------------------------------------
 # Packing
 # ----------------------------------------------------------------------
-def pack_bundle(pipeline, directory: str, *, embeddings: bool = True) -> dict:
+def pack_bundle(
+    pipeline,
+    directory: str,
+    *,
+    embeddings: bool = True,
+    retrieval_index=None,
+) -> dict:
     """Write an mmap bundle for the pipeline's KB into ``directory``.
 
     Persists the feature matrix, and — unless ``embeddings=False`` —
     the reference-embedding matrix (computing it if needed) keyed by the
     pipeline's content fingerprint, so a subsequent
     ``repro serve --kb-store mmap`` starts without a single forward
-    pass.  Returns the manifest dict.
+    pass.  ``retrieval_index`` (a built
+    :class:`~repro.retrieval.base.RetrievalIndex`) additionally packs
+    the candidate-retrieval index arrays with CRC-checked manifest
+    entries; the helper import is deferred so the storage layer has no
+    module-level dependency on the retrieval package.  Returns the
+    manifest dict.
     """
     features = pipeline.kb.features
     if features is None:
@@ -153,6 +191,7 @@ def pack_bundle(pipeline, directory: str, *, embeddings: bool = True) -> dict:
         "schema_version": BUNDLE_SCHEMA_VERSION,
         "features": {**_array_entry(features), "crc": features_crc(features)},
         "h_ref": None,
+        "retrieval": None,
     }
     if embeddings:
         h_ref = pipeline.ref_embeddings()
@@ -161,6 +200,10 @@ def pack_bundle(pipeline, directory: str, *, embeddings: bool = True) -> dict:
             **_array_entry(h_ref),
             "fingerprint": content_fingerprint(pipeline),
         }
+    if retrieval_index is not None:
+        from ..retrieval.pack import write_retrieval_arrays
+
+        manifest["retrieval"] = write_retrieval_arrays(directory, retrieval_index)
     _write_manifest(directory, manifest)
     return manifest
 
@@ -206,15 +249,18 @@ class MmapStore(KBStore, EmbeddingStore):
                 np.ascontiguousarray(self._kb.features),
             )
             h_ref = self._manifest["h_ref"] if self._manifest else None
+            retrieval = self._manifest.get("retrieval") if self._manifest else None
             self._manifest = {
                 "schema_version": BUNDLE_SCHEMA_VERSION,
                 "features": {
                     **_array_entry(self._kb.features),
                     "crc": live_crc,
                 },
-                # A retained h_ref entry is harmless: load() only serves
-                # it when its (weights + KB) fingerprint still matches.
+                # Retained h_ref / retrieval entries are harmless: both
+                # are fingerprint-checked at load time and only served
+                # while they still match the live pipeline.
                 "h_ref": h_ref,
+                "retrieval": retrieval,
             }
             _write_manifest(self._directory, self._manifest)
             self._features = None

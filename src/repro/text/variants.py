@@ -144,6 +144,48 @@ def edit_distance(a: str, b: str) -> int:
     return previous[-1]
 
 
+def edit_distances(a: str, others: List[str]) -> np.ndarray:
+    """Levenshtein distance from ``a`` to every string in ``others``.
+
+    Vectorised across ``others``: one DP row per character of ``a``,
+    updated for all strings at once as numpy arrays.  The in-row
+    insertion recurrence ``current[j] = current[j-1] + 1`` unrolls to a
+    prefix minimum of ``candidate[j] - j`` (each step right costs exactly
+    1), so the whole row update is branch-free array math.  Matches
+    :func:`edit_distance` exactly; the candidate-generation rescorer
+    calls this once per shortlist instead of once per candidate.
+    """
+    if not others:
+        return np.zeros(0, dtype=np.int64)
+    lens = np.asarray([len(b) for b in others], dtype=np.int64)
+    width = int(lens.max())
+    if not a or width == 0:
+        return np.maximum(lens, len(a))
+    # Character matrix, zero-padded (codepoint 0 never appears in text).
+    chars = np.zeros((len(others), width), dtype=np.int32)
+    for row, b in enumerate(others):
+        chars[row, : len(b)] = np.frombuffer(
+            b.encode("utf-32-le"), dtype=np.int32
+        )
+    a_codes = np.frombuffer(a.encode("utf-32-le"), dtype=np.int32)
+    # The DP runs in "tilted" coordinates T[j] = row[j] - j, which turns
+    # the in-row insertion recurrence into a plain prefix minimum and the
+    # per-iteration re/un-tilt into a single subtraction hoisted out of
+    # the loop.  mismatch1[i] = (cost of substituting a[i]) - 1, the -1
+    # being the tilt delta between columns j-1 and j.
+    mismatch1 = (chars[None, :, :] != a_codes[:, None, None]).astype(np.int64)
+    mismatch1 -= 1
+    tilted = np.zeros((len(others), width + 1), dtype=np.int64)
+    best = np.empty_like(tilted)
+    for i in range(len(a)):
+        np.add(tilted[:, :-1], mismatch1[i], out=best[:, 1:])  # substitute
+        np.minimum(best[:, 1:], tilted[:, 1:] + 1, out=best[:, 1:])  # delete
+        best[:, 0] = i + 1
+        # Fold in insertions: min over m <= j of best[m] (already tilted).
+        np.minimum.accumulate(best, axis=1, out=tilted)
+    return tilted[np.arange(len(others)), lens] + lens
+
+
 def classify_discrepancy(
     canonical: str,
     surface: str,

@@ -524,6 +524,48 @@ class TestKbPack:
         assert "not packed" in out
         assert not os.path.exists(os.path.join(bundle, "h_ref.npy"))
 
+    def test_pack_with_index_and_indexed_serve(self, checkpoint, tmp_path, capsys):
+        bundle = str(tmp_path / "indexed_bundle")
+        assert main(
+            ["kb", "pack", "--checkpoint", checkpoint, "--out", bundle,
+             "--with-index", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["manifest"]["retrieval"]
+        assert entry["backend"] == "ngram"
+        assert entry["fingerprint"]
+        for name in entry["arrays"]:
+            assert os.path.exists(os.path.join(bundle, f"retrieval_{name}.npy"))
+        # Serving --candidates indexed from that bundle maps the packed
+        # index (same KB + config -> matching fingerprint) and reports
+        # the generator through ServiceStats.
+        assert main(
+            [
+                "serve",
+                "--checkpoint", checkpoint,
+                "--dataset", "NCBI",
+                "--scale", SCALE,
+                "--limit", "4",
+                "--kb-bundle", bundle,
+                "--candidates", "indexed",
+                "--json",
+                "--stats",
+            ]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 5  # four predictions + the stats payload
+        assert lines[4]["stats"]["candidate_generator"] == "indexed"
+
+    def test_pack_with_index_backend_override(self, checkpoint, tmp_path, capsys):
+        bundle = str(tmp_path / "lsh_bundle")
+        assert main(
+            ["kb", "pack", "--checkpoint", checkpoint, "--out", bundle,
+             "--with-index", "--index-backend", "lsh", "--no-embeddings"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "retrieval lsh index" in out
+        assert os.path.exists(os.path.join(bundle, "retrieval_planes.npy"))
+
     def test_serve_kb_store_mmap_without_bundle(self, checkpoint, capsys):
         # No --kb-bundle: the mmap store packs a private temporary bundle
         # and removes it on close; results are unchanged.
