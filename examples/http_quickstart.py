@@ -7,12 +7,16 @@ drives every endpoint through :class:`repro.serving.LinkerClient`:
 single link, batch link, streaming NDJSON bulk job, JSON stats and the
 Prometheus text exposition.  Responses carry the typed wire schema of
 :mod:`repro.serving.wire` — ``WirePrediction.to_prediction()`` is the
-exact server-side :class:`repro.core.pipeline.Prediction`.
+exact server-side :class:`repro.core.pipeline.Prediction`.  A final
+leg turns on admission control and sheds a burst: a server with a tiny
+queue answers the overflow with structured 429s + ``Retry-After``,
+surfaced by the client as :class:`LinkerOverloadedError`.
 
 The same server is reachable from the CLI and plain curl:
 
     repro train --dataset NCBI --out CKPT
-    repro serve --checkpoint CKPT --http 8080
+    repro serve --checkpoint CKPT --http 8080 \
+        --shed-policy wait --max-queue 64      # overload protection
     curl -s localhost:8080/healthz
     curl -s -XPOST localhost:8080/link -d \
         '{"schema_version": 1, "items": [{"text": "..."}], "top_k": 3}'
@@ -24,7 +28,7 @@ Run:  PYTHONPATH=src python examples/http_quickstart.py
 from repro.api import Linker, LinkerConfig
 from repro.core import ModelConfig, TrainConfig
 from repro.datasets import load_dataset
-from repro.serving import LinkerClient
+from repro.serving import LinkerClient, LinkerOverloadedError
 
 
 def main() -> None:
@@ -79,6 +83,35 @@ def main() -> None:
         #    completes, then the async service shuts down.
         server.close()
     print("server drained and closed")
+
+    # 8. Overload protection: the same front door with admission control
+    #    on.  A deliberately tiny queue (and a deadline too long to
+    #    flush behind) makes the shed deterministic: a burst of three
+    #    items overflows the normal-priority depth budget, the whole
+    #    request is answered 429 with a Retry-After hint, and the
+    #    counters land in /stats and the Prometheus rendering.  In
+    #    production you would size max_queue realistically (or use
+    #    shed_policy="wait" to shed on estimated queue wait) and wrap
+    #    bursty callers in repro.serving.retry_overloaded.
+    server = linker.serve(
+        http_port=0,
+        deadline_ms=60_000.0,
+        admission={"shed_policy": "depth", "max_queue": 2},
+    )
+    try:
+        with LinkerClient(port=server.port) as client:
+            try:
+                client.link_batch(dataset.test[:3])
+            except LinkerOverloadedError as exc:
+                print(
+                    f"\nburst shed: HTTP {exc.status}, server says retry "
+                    f"in {exc.retry_after_s:.0f}s"
+                )
+            stats = client.stats()
+            print(f"admitted {stats['admitted']}  shed {stats['shed']}")
+    finally:
+        server.close()
+    print("overloaded server drained and closed")
 
 
 if __name__ == "__main__":

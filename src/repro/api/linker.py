@@ -257,6 +257,7 @@ class Linker:
         shards: Optional[int] = None,
         shard_backend: Optional[str] = None,
         storage=None,
+        admission=None,
         deadline_ms: Optional[float] = None,
         http_port: Optional[int] = None,
         http_host: Optional[str] = None,
@@ -280,6 +281,16 @@ class Linker:
         ``storage=StorageConfig(kb_store="mmap", bundle_path=...)``
         reuses a ``repro kb pack`` bundle so startup skips the embedding
         forward entirely.
+
+        ``admission`` sets the overload policy of the async scheduler
+        (:class:`~repro.serving.AdmissionConfig`, its dict form, or just
+        a shed-policy name) — ``linker.serve(async_=True,
+        admission="depth")`` bounds the queue and sheds the overflow as
+        429s, ``admission=AdmissionConfig(shed_policy="wait",
+        adaptive=True)`` adds estimated-wait shedding and the AIMD
+        deadline/batch tuner.  The config's ``service.admission``
+        section (default shed policy from ``$REPRO_ADMISSION``) applies
+        when omitted.
 
         ``http_port`` turns the frontend into a *started*
         :class:`~repro.serving.LinkingHTTPServer` over the async service
@@ -315,6 +326,19 @@ class Linker:
                     "or a backend name"
                 )
             overrides["storage"] = storage
+        if admission is not None:
+            from ..serving import AdmissionConfig
+
+            if isinstance(admission, str):
+                admission = AdmissionConfig(shed_policy=admission)
+            elif isinstance(admission, dict):
+                admission = AdmissionConfig(**admission)
+            elif not isinstance(admission, AdmissionConfig):
+                raise ValueError(
+                    "admission must be an AdmissionConfig, its dict form, "
+                    "or a shed-policy name"
+                )
+            overrides["admission"] = admission
         if overrides:
             service_config = replace(service_config, **overrides)
         service = LinkingService(self.pipeline, service_config)

@@ -332,6 +332,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro.storage import StorageConfig
 
             storage = StorageConfig(kb_store=kb_store, bundle_path=args.kb_bundle)
+        admission = None
+        if (
+            args.shed_policy is not None
+            or args.max_queue is not None
+            or args.adaptive
+        ):
+            from dataclasses import replace
+
+            from repro.serving import AdmissionConfig
+
+            # Start from the env-default config ($REPRO_ADMISSION) so
+            # flags layer on top of it instead of silently clobbering it.
+            overrides = {}
+            if args.shed_policy is not None:
+                overrides["shed_policy"] = args.shed_policy
+            elif args.max_queue is not None or args.adaptive:
+                base = AdmissionConfig()
+                if base.shed_policy == "none":
+                    # --max-queue / --adaptive without an explicit policy
+                    # (or env default) means "bound the queue by depth".
+                    overrides["shed_policy"] = "depth"
+            if args.max_queue is not None:
+                overrides["max_queue"] = args.max_queue
+            if args.adaptive:
+                overrides["adaptive"] = True
+            admission = replace(AdmissionConfig(), **overrides)
         service = linker.serve(
             max_batch_size=args.batch_size,
             cache_size=args.cache_size,
@@ -340,6 +366,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             shard_backend=args.shard_backend,
             storage=storage,
+            admission=admission,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -806,6 +833,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="mmap bundle directory from `repro kb pack` (implies "
         "--kb-store mmap; default: a private temporary bundle)",
+    )
+    p.add_argument(
+        "--shed-policy",
+        default=None,
+        choices=["none", "depth", "wait"],
+        help="admission control: shed overflow by queue depth or by "
+        "estimated queue wait (429 + Retry-After over --http; "
+        "REPRO_ADMISSION sets the default)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound before load shedding kicks in "
+        "(implies --shed-policy depth unless one is set)",
+    )
+    p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="AIMD-tune the deadline and micro-batch size from observed "
+        "queue-wait p95s (implies --shed-policy depth unless one is set)",
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address for --http")
     p.add_argument("--json", action="store_true")

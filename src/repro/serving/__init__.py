@@ -23,12 +23,34 @@ asyncio + stdlib HTTP server over the async service speaking the typed,
 schema-versioned wire format of ``wire`` (:class:`LinkRequest`,
 :class:`LinkResponse`, :class:`ErrorResponse`), with
 :class:`LinkerClient` (``client``) as the matching stdlib client.
+
+Overload protection is the ``admission`` module:
+:class:`AdmissionConfig` (the ``admission`` section of
+:class:`ServiceConfig`; default shed policy from ``$REPRO_ADMISSION``)
+bounds the scheduler's queue with priority classes, sheds the overflow
+as structured 429s with ``Retry-After``
+(:class:`AdmissionError` / :class:`LinkerOverloadedError`), and — with
+``adaptive=True`` — lets the :class:`AdaptiveTuner` AIMD-adjust the
+deadline/batch policy from observed queue-wait p95s.
 See ``examples/serving_quickstart.py``, ``examples/http_quickstart.py``
 and the ``repro serve`` CLI command (``repro serve --http PORT``).
 """
 
+from .admission import (  # noqa: F401
+    PRIORITIES,
+    SHED_POLICIES,
+    AdaptiveTuner,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+)
 from .cache import LRUCache  # noqa: F401
-from .client import LinkerClient, LinkerClientError  # noqa: F401
+from .client import (  # noqa: F401
+    LinkerClient,
+    LinkerClientError,
+    LinkerOverloadedError,
+    retry_overloaded,
+)
 from .http import LinkingHTTPServer  # noqa: F401
 from .scheduler import AsyncLinkingService, DeadlineBatcher, QueuedRequest  # noqa: F401
 from .service import HttpConfig, LinkingService, ServiceConfig  # noqa: F401
@@ -69,6 +91,14 @@ __all__ = [
     "LinkingHTTPServer",
     "LinkerClient",
     "LinkerClientError",
+    "LinkerOverloadedError",
+    "retry_overloaded",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionError",
+    "AdaptiveTuner",
+    "PRIORITIES",
+    "SHED_POLICIES",
     "WIRE_SCHEMA_VERSION",
     "WireError",
     "LinkItem",

@@ -5,20 +5,27 @@
 the server.  Non-2xx responses raise :class:`LinkerClientError` carrying
 the decoded :class:`~repro.serving.wire.ErrorResponse` so callers can
 branch on the machine-readable ``code`` (``draining``,
-``payload_too_large``, ...).
+``payload_too_large``, ...).  A 429 from the admission gate raises the
+:class:`LinkerOverloadedError` subclass, which carries the server's
+``Retry-After`` hint; :func:`retry_overloaded` is the matching bounded
+backoff helper.
 
     with LinkerClient(port=server.port) as client:
         prediction = client.link(text="... spinal hyperplasia ...")
         batch = client.link_batch(["text a", "text b"], top_k=3)
         for result in client.link_stream(snippets):
             ...
+        burst = retry_overloaded(
+            lambda: client.link_batch(texts), retries=3
+        )
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Iterable, Iterator, List, Optional, Union
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar, Union
 
 from ..text.corpus import Snippet
 from .wire import (
@@ -30,10 +37,17 @@ from .wire import (
     parse_stream_line,
 )
 
-__all__ = ["LinkerClient", "LinkerClientError"]
+__all__ = [
+    "LinkerClient",
+    "LinkerClientError",
+    "LinkerOverloadedError",
+    "retry_overloaded",
+]
 
 #: anything `link_batch` / `link_stream` can normalise into a LinkItem
 ItemLike = Union[str, Snippet, LinkItem]
+
+T = TypeVar("T")
 
 
 class LinkerClientError(RuntimeError):
@@ -45,6 +59,61 @@ class LinkerClientError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.error = error
+
+
+class LinkerOverloadedError(LinkerClientError):
+    """A 429 from the admission gate: the request was shed, not failed.
+
+    ``retry_after_s`` is the server's hint for when the queue should be
+    back under budget — the ``Retry-After`` header when present, else
+    the structured body's ``retry_after_ms``, else 1 second.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error: Optional[ErrorResponse],
+        raw: bytes = b"",
+        retry_after_s: float = 1.0,
+    ):
+        super().__init__(status, error, raw)
+        self.retry_after_s = retry_after_s
+
+
+def _retry_after_seconds(
+    header: Optional[str], error: Optional[ErrorResponse]
+) -> float:
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            pass  # an HTTP-date Retry-After; fall through to the body
+    if error is not None and error.retry_after_ms is not None:
+        return max(0.0, error.retry_after_ms / 1000.0)
+    return 1.0
+
+
+def retry_overloaded(
+    call: Callable[[], T],
+    retries: int = 3,
+    max_wait_s: float = 5.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``call``, retrying up to ``retries`` times when the server
+    sheds it with a 429 — sleeping the server's ``Retry-After`` hint
+    (capped at ``max_wait_s``) between attempts.  Bounded on purpose:
+    after the last attempt the :class:`LinkerOverloadedError` propagates
+    so sustained overload surfaces instead of spinning.  ``sleep`` is
+    injectable for tests.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    for _ in range(retries):
+        try:
+            return call()
+        except LinkerOverloadedError as exc:
+            sleep(min(exc.retry_after_s, max_wait_s))
+    return call()
 
 
 def _as_item(item: ItemLike) -> LinkItem:
@@ -81,7 +150,7 @@ class LinkerClient:
         response = self._request(method, path, body, headers)
         raw = response.read()
         if not 200 <= response.status < 300:
-            raise LinkerClientError(response.status, _decode_error(raw), raw)
+            raise _client_error(response, raw)
         return json.loads(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------
@@ -100,7 +169,7 @@ class LinkerClient:
         response = self._request("GET", "/stats", headers={"Accept": "text/plain"})
         raw = response.read()
         if response.status != 200:
-            raise LinkerClientError(response.status, _decode_error(raw), raw)
+            raise _client_error(response, raw)
         return raw.decode("utf-8")
 
     def link(
@@ -109,10 +178,12 @@ class LinkerClient:
         mention: Optional[str] = None,
         snippet: Optional[Snippet] = None,
         top_k: Optional[int] = None,
+        priority: str = "normal",
     ) -> WirePrediction:
         """Link one mention: raw ``text`` (+ optional ``mention`` surface)
-        or a full ``snippet``."""
-        item = LinkItem(text=text, mention=mention, snippet=snippet)
+        or a full ``snippet``; ``priority`` names the admission class the
+        server queues it under."""
+        item = LinkItem(text=text, mention=mention, snippet=snippet, priority=priority)
         return self.link_batch([item], top_k=top_k)[0]
 
     def link_batch(
@@ -140,7 +211,7 @@ class LinkerClient:
         )
         if response.status != 200:
             raw = response.read()
-            raise LinkerClientError(response.status, _decode_error(raw), raw)
+            raise _client_error(response, raw)
         for line in response:
             line = line.strip()
             if line:
@@ -164,3 +235,20 @@ def _decode_error(raw: bytes) -> Optional[ErrorResponse]:
         return ErrorResponse.from_json(raw)
     except ValueError:
         return None
+
+
+def _client_error(response, raw: bytes) -> LinkerClientError:
+    """The typed error for a non-2xx response: a 429 shed becomes
+    :class:`LinkerOverloadedError` with its retry hint, everything else
+    the generic :class:`LinkerClientError`."""
+    error = _decode_error(raw)
+    if response.status == 429:
+        return LinkerOverloadedError(
+            response.status,
+            error,
+            raw,
+            retry_after_s=_retry_after_seconds(
+                response.getheader("Retry-After"), error
+            ),
+        )
+    return LinkerClientError(response.status, error, raw)

@@ -42,6 +42,7 @@ import threading
 from typing import Optional, Tuple
 
 from ..core.pipeline import EDPipeline
+from .admission import AdmissionError
 from .scheduler import AsyncLinkingService
 from .service import HttpConfig, LinkingService
 from .stats import ServiceStats
@@ -63,6 +64,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -75,12 +77,30 @@ _TEXT = "text/plain; version=0.0.4; charset=utf-8"  # Prometheus exposition
 
 
 class _HttpError(Exception):
-    """Internal routing signal: status + structured error body."""
+    """Internal routing signal: status + structured error body (plus any
+    extra response headers, e.g. ``Retry-After`` on a 429)."""
 
-    def __init__(self, status: int, error: ErrorResponse):
+    def __init__(
+        self, status: int, error: ErrorResponse, headers: Optional[dict] = None
+    ):
         super().__init__(error.message)
         self.status = status
         self.error = error
+        self.headers = headers or {}
+
+
+def _shed_http_error(exc: AdmissionError) -> _HttpError:
+    """An admission shed as a 429: the structured body carries the
+    controller's ``retry_after_ms`` estimate, the ``Retry-After`` header
+    the same hint in whole seconds (ceiling, so never 0)."""
+    retry_after_s = max(1, int(-(-exc.retry_after_ms // 1000)))
+    return _HttpError(
+        429,
+        ErrorResponse(
+            "overloaded", str(exc), retry_after_ms=round(exc.retry_after_ms, 3)
+        ),
+        headers={"Retry-After": str(retry_after_s)},
+    )
 
 
 def _wire_http_error(exc: WireError, detail: Optional[str] = None) -> _HttpError:
@@ -386,9 +406,11 @@ class LinkingHTTPServer:
         except ValueError as exc:
             raise WireError(f"{where}: {exc}") from None
 
-    def _submit(self, snippet):
+    def _submit(self, snippet, priority: str = "normal"):
         try:
-            return self.service.submit(snippet)
+            return self.service.submit(snippet, priority=priority)
+        except AdmissionError as exc:  # shed: 429 + Retry-After, not 503
+            raise _shed_http_error(exc) from None
         except RuntimeError as exc:  # the async service is already closed
             raise _HttpError(503, ErrorResponse("draining", str(exc))) from None
 
@@ -420,7 +442,18 @@ class LinkingHTTPServer:
             ]
         except WireError as exc:
             raise _wire_http_error(exc) from None
-        futures = [self._submit(snippet) for snippet in snippets]
+        # All-or-nothing admission: when an item is shed mid-request the
+        # already-queued siblings are cancelled and the whole request is
+        # the 429 (partial responses would break the items<->predictions
+        # alignment the wire contract promises).
+        futures = []
+        try:
+            for snippet, item in zip(snippets, request.items):
+                futures.append(self._submit(snippet, item.priority))
+        except _HttpError:
+            for future in futures:
+                future.cancel()
+            raise
         predictions = await asyncio.gather(
             *(asyncio.wrap_future(f) for f in futures)
         )
@@ -467,11 +500,15 @@ class LinkingHTTPServer:
                     json.loads(line.decode("utf-8")), where="stream item"
                 )
                 snippet = self._resolve_snippet(item, "stream item")
-                window.append((self._submit(snippet), None))
+                window.append((self._submit(snippet, item.priority), None))
             except (json.JSONDecodeError, UnicodeDecodeError, WireError) as exc:
                 window.append(
                     (None, ErrorResponse("parse_error", str(exc), detail=line.decode("utf-8", "replace")))
                 )
+            except _HttpError as exc:
+                # A shed line is a per-line error record (carrying the
+                # retry hint) — the rest of the stream keeps flowing.
+                window.append((None, exc.error))
             await flush(blocking=False)
         await flush(blocking=True)
         writer.write(b"0\r\n\r\n")
@@ -480,20 +517,26 @@ class LinkingHTTPServer:
     # ------------------------------------------------------------------
     # Response writing
     # ------------------------------------------------------------------
-    async def _write(self, writer, status, payload: bytes, content_type, keep_alive) -> None:
+    async def _write(
+        self, writer, status, payload: bytes, content_type, keep_alive,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
 
     async def _write_error(self, writer, exc: _HttpError, keep_alive: bool) -> None:
         try:
             await self._write(
-                writer, exc.status, exc.error.to_json().encode(), _JSON, keep_alive
+                writer, exc.status, exc.error.to_json().encode(), _JSON, keep_alive,
+                extra_headers=exc.headers,
             )
         except ConnectionError:
             pass

@@ -37,10 +37,18 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..core.pipeline import EDPipeline, Prediction
 from ..text.corpus import Snippet
+from .admission import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    AdaptiveTuner,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+)
 from .service import LinkingService, ServiceConfig
 from .stats import ServiceStats
 
@@ -53,15 +61,20 @@ class QueuedRequest:
     enqueued_at: float
     deadline_at: float
     future: Future = field(default_factory=Future)
+    priority: str = DEFAULT_PRIORITY
 
 
 class DeadlineBatcher:
     """Pure deadline-policy micro-batch former (no threads, no clock).
 
-    FIFO queue of :class:`QueuedRequest`; :meth:`poll` decides — given
-    the caller's ``now`` — whether a batch is due: immediately when a
-    full ``max_batch_size`` is waiting, else once the oldest request's
-    deadline would be blown by waiting longer.
+    One FIFO queue of :class:`QueuedRequest` per priority class;
+    :meth:`poll` decides — given the caller's ``now`` — whether a batch
+    is due: immediately when a full ``max_batch_size`` is waiting, else
+    once the *oldest* queued request's deadline (across all classes)
+    would be blown by waiting longer.  A popped batch is filled in
+    priority order (``high`` before ``normal`` before ``low``, FIFO
+    within a class), so under backlog high-priority requests always ride
+    the next flush.
     """
 
     def __init__(self, max_batch_size: int, deadline_s: float):
@@ -71,17 +84,26 @@ class DeadlineBatcher:
             raise ValueError("deadline_s must be >= 0")
         self.max_batch_size = max_batch_size
         self.deadline_s = deadline_s
-        self._queue: Deque[QueuedRequest] = deque()
+        self._queues: Dict[str, Deque[QueuedRequest]] = {
+            priority: deque() for priority in PRIORITIES
+        }
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return sum(len(q) for q in self._queues.values())
 
     def add(self, request: QueuedRequest) -> None:
-        self._queue.append(request)
+        self._queues[request.priority].append(request)
 
     def next_deadline(self) -> Optional[float]:
-        """Absolute deadline of the oldest queued request (None if idle)."""
-        return self._queue[0].deadline_at if self._queue else None
+        """Absolute deadline of the oldest queued request (None if idle).
+
+        Deadlines are assigned FIFO per class, so the oldest deadline is
+        the minimum over the class heads — low-priority requests may be
+        popped last, but their deadline still drives flush timing, so no
+        class can be starved of flushes indefinitely.
+        """
+        heads = [q[0].deadline_at for q in self._queues.values() if q]
+        return min(heads) if heads else None
 
     def seconds_until_flush(self, now: float) -> Optional[float]:
         """Longest the worker may sleep before a flush can become due.
@@ -89,17 +111,19 @@ class DeadlineBatcher:
         ``None`` when the queue is idle (sleep until a request arrives),
         ``0`` when a batch is already due.
         """
-        if not self._queue:
+        next_deadline = self.next_deadline()
+        if next_deadline is None:
             return None
-        if len(self._queue) >= self.max_batch_size:
+        if len(self) >= self.max_batch_size:
             return 0.0
-        return max(0.0, self._queue[0].deadline_at - now)
+        return max(0.0, next_deadline - now)
 
     def poll(self, now: float) -> List[QueuedRequest]:
         """The next micro-batch to run, or ``[]`` if none is due yet."""
-        if len(self._queue) >= self.max_batch_size:
+        if len(self) >= self.max_batch_size:
             return self._pop(self.max_batch_size)
-        if self._queue and now >= self._queue[0].deadline_at:
+        next_deadline = self.next_deadline()
+        if next_deadline is not None and now >= next_deadline:
             return self._pop(self.max_batch_size)
         return []
 
@@ -108,7 +132,12 @@ class DeadlineBatcher:
         return self._pop(self.max_batch_size)
 
     def _pop(self, limit: int) -> List[QueuedRequest]:
-        return [self._queue.popleft() for _ in range(min(limit, len(self._queue)))]
+        batch: List[QueuedRequest] = []
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            while queue and len(batch) < limit:
+                batch.append(queue.popleft())
+        return batch
 
 
 class AsyncLinkingService:
@@ -131,6 +160,7 @@ class AsyncLinkingService:
         deadline_ms: float = 25.0,
         max_batch_size: Optional[int] = None,
         max_in_flight: Optional[int] = None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         if isinstance(pipeline_or_service, LinkingService):
             if config is not None:
@@ -140,12 +170,20 @@ class AsyncLinkingService:
             self.service = LinkingService(pipeline_or_service, config)
         # The worker's Condition.wait timeout elapses in real time, so the
         # service clock must be the monotonic wall clock; fake-clock tests
-        # target DeadlineBatcher, which takes `now` from its caller.
+        # target DeadlineBatcher / AdmissionController / AdaptiveTuner,
+        # which take `now` from their callers.
         self.clock = time.monotonic
         self.deadline_s = deadline_ms / 1000.0
         batch = max_batch_size or self.service.config.max_batch_size
         self.batcher = DeadlineBatcher(batch, self.deadline_s)
         self.max_in_flight = max_in_flight or max(64, 4 * batch)
+        self.admission_config = admission or self.service.config.admission
+        self.admission = AdmissionController(self.admission_config, deadline_ms)
+        self.tuner: Optional[AdaptiveTuner] = (
+            AdaptiveTuner(self.admission_config, deadline_ms, batch)
+            if self.admission_config.adaptive
+            else None
+        )
         self._cond = threading.Condition()
         self._closed = False
         self._worker = threading.Thread(
@@ -164,25 +202,61 @@ class AsyncLinkingService:
     # ------------------------------------------------------------------
     # Request API
     # ------------------------------------------------------------------
-    def submit(self, snippet: Snippet) -> "Future[Prediction]":
-        """Enqueue one snippet; the future resolves to its Prediction."""
+    def submit(
+        self, snippet: Snippet, priority: str = DEFAULT_PRIORITY
+    ) -> "Future[Prediction]":
+        """Enqueue one snippet; the future resolves to its Prediction.
+
+        The admission gate runs here, in front of the queue: an
+        over-budget arrival raises
+        :class:`~repro.serving.admission.AdmissionError` (HTTP maps it
+        to 429 + ``Retry-After``) instead of enqueueing.
+        """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; options: {PRIORITIES}"
+            )
         now = self.clock()
-        request = QueuedRequest(snippet, now, now + self.deadline_s)
+        request = QueuedRequest(
+            snippet, now, now + self.deadline_s, priority=priority
+        )
         with self._cond:
             if self._closed:
                 raise RuntimeError("AsyncLinkingService is closed")
+            shed = self.admission.check(priority, len(self.batcher))
+            if shed is not None:
+                self.stats.record_shed(priority)
+                raise shed
+            self.stats.record_admission(priority)
             self.batcher.add(request)
             self._cond.notify()
         return request.future
 
     def link_batch(
-        self, snippets: Sequence[Snippet], timeout: Optional[float] = None
+        self,
+        snippets: Sequence[Snippet],
+        timeout: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
     ) -> List[Prediction]:
-        """Submit every snippet and gather results in input order."""
-        futures = [self.submit(snippet) for snippet in snippets]
+        """Submit every snippet and gather results in input order.
+
+        All-or-nothing under admission control: when a submit mid-batch
+        is shed, the already-queued futures are cancelled and the
+        :class:`AdmissionError` propagates.
+        """
+        futures = []
+        try:
+            for snippet in snippets:
+                futures.append(self.submit(snippet, priority))
+        except AdmissionError:
+            for future in futures:
+                future.cancel()
+            raise
         return [future.result(timeout) for future in futures]
 
-    def link_stream(self, snippets: Iterable[Snippet]) -> Iterator[Prediction]:
+    def link_stream(
+        self, snippets: Iterable[Snippet], priority: str = DEFAULT_PRIORITY
+    ) -> Iterator[Prediction]:
         """Order-preserving incremental results over a (lazy) stream.
 
         Yields each prediction as soon as it — and everything before it —
@@ -191,7 +265,7 @@ class AsyncLinkingService:
         """
         window: Deque[Future] = deque()
         for snippet in snippets:
-            window.append(self.submit(snippet))
+            window.append(self.submit(snippet, priority))
             if len(window) >= self.max_in_flight:
                 yield window.popleft().result()
             while window and window[0].done():
@@ -237,6 +311,24 @@ class AsyncLinkingService:
                 done_at - request.enqueued_at, formed_at - request.enqueued_at
             )
             request.future.set_result(prediction)
+        # Feed the policy loop: the controller's estimated-wait model
+        # tracks the real drain rate, and the tuner AIMD-adjusts the
+        # deadline/batch policy from the observed queue waits.
+        self.admission.observe_batch(len(live), done_at - formed_at)
+        if self.tuner is not None:
+            adjusted = False
+            for request in live:
+                adjusted |= self.tuner.observe(
+                    (formed_at - request.enqueued_at) * 1000.0, done_at
+                )
+            if adjusted:
+                with self._cond:
+                    self.deadline_s = self.tuner.deadline_ms / 1000.0
+                    self.batcher.deadline_s = self.deadline_s
+                    self.batcher.max_batch_size = self.tuner.batch_size
+            self.stats.record_tuner(
+                self.tuner.deadline_ms, self.tuner.batch_size, self.tuner.adjustments
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle

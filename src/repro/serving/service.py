@@ -43,6 +43,7 @@ from ..storage.bundle import content_fingerprint as _content_fingerprint
 from ..storage.bundle import weights_crc as _weights_crc
 from ..text.corpus import Snippet
 from ..text.embedder import HashingNgramEmbedder
+from .admission import AdmissionConfig
 from .cache import LRUCache
 from .stats import ServiceStats
 from .workers import SHARD_BACKENDS, default_shard_backend
@@ -131,6 +132,11 @@ class ServiceConfig:
     # dict form from asdict / the LinkerConfig JSON round trip is
     # strictly coerced.
     storage: StorageConfig = field(default_factory=StorageConfig)
+    # Overload policy of the async scheduler (repro.serving.admission):
+    # queue bound, shed policy (default $REPRO_ADMISSION), priorities,
+    # and the adaptive deadline/batch tuner.  Same strict dict coercion
+    # as http/storage, so it round-trips through LinkerConfig JSON.
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -159,6 +165,17 @@ class ServiceConfig:
         elif not isinstance(self.storage, StorageConfig):
             raise ValueError(
                 "ServiceConfig storage must be a StorageConfig (or its dict form)"
+            )
+        if isinstance(self.admission, dict):
+            try:
+                self.admission = AdmissionConfig(**self.admission)
+            except TypeError as exc:
+                raise ValueError(
+                    f"bad admission section in ServiceConfig: {exc}"
+                ) from None
+        elif not isinstance(self.admission, AdmissionConfig):
+            raise ValueError(
+                "ServiceConfig admission must be an AdmissionConfig (or its dict form)"
             )
 
 
@@ -415,6 +432,9 @@ class LinkingService:
 
         self.stats.record_request(len(snippets))
         self.stats.record_cache(hits, misses)
+        if self._sharded is not None:
+            calls, seconds = self._sharded.shard_telemetry()
+            self.stats.record_shards(self._sharded.respawns, calls, seconds)
         generator = self.pipeline.candidate_generator
         self.stats.record_candidate_sources(
             getattr(generator, "name", type(generator).__name__),

@@ -45,9 +45,11 @@ backends as scoring.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from time import perf_counter
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -157,6 +159,12 @@ class ShardedKB:
                     ),
                 )
             )
+        # Per-shard score telemetry for the thread/inline paths (process
+        # workers report their own timings over the reply pipe; see
+        # shard_telemetry for the merged view).
+        self._telemetry_lock = threading.Lock()
+        self._shard_calls = [0] * num_shards
+        self._shard_seconds = [0.0] * num_shards
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[ShardWorkerPool] = None
         if num_shards > 1:
@@ -328,8 +336,9 @@ class ShardedKB:
         local_ids: np.ndarray,
         x_query: Optional[Tensor],
     ) -> np.ndarray:
+        t0 = perf_counter()
         with no_grad():
-            return self.pipeline.model.score_pairs(
+            scores = self.pipeline.model.score_pairs(
                 h_query,
                 query_ids,
                 Tensor(shard.h_ref),
@@ -337,6 +346,10 @@ class ShardedKB:
                 x_query=x_query,
                 x_ref=Tensor(shard.x_ref),
             ).data
+        with self._telemetry_lock:
+            self._shard_calls[shard.index] += 1
+            self._shard_seconds[shard.index] += perf_counter() - t0
+        return scores
 
     def score_candidates(self, qg: QueryGraph, candidate_ids: np.ndarray) -> np.ndarray:
         """Sharded equivalent of :meth:`EDPipeline.score_candidates`: one
@@ -421,6 +434,23 @@ class ShardedKB:
     def worker_pool(self) -> Optional[ShardWorkerPool]:
         """The process worker pool, or ``None`` on the thread backend."""
         return self._pool
+
+    @property
+    def respawns(self) -> int:
+        """Lifetime worker respawns (0 on the thread backend)."""
+        return self._pool.respawns if self._pool is not None else 0
+
+    def shard_telemetry(self) -> Tuple[List[int], List[float]]:
+        """Per-shard (score calls, wall seconds), merged across backends:
+        thread/inline scoring is timed parent-side, process workers
+        report their own compute time over the reply pipe."""
+        with self._telemetry_lock:
+            calls = list(self._shard_calls)
+            seconds = list(self._shard_seconds)
+        if self._pool is not None:
+            calls = [c + pc for c, pc in zip(calls, self._pool.shard_calls)]
+            seconds = [s + ps for s, ps in zip(seconds, self._pool.shard_seconds)]
+        return calls, seconds
 
     @property
     def payload_ship_bytes(self) -> int:

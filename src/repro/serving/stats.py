@@ -54,6 +54,20 @@ class ServiceStats:
     candidate_seconds: float = 0.0  # wall time in the candidate stage
     candidate_index_hits: int = 0
     candidate_fallbacks: int = 0
+    # Admission / overload telemetry (repro.serving.admission): admitted
+    # and shed requests per priority class, plus the adaptive tuner's
+    # live policy (gauges; tuner_batch_size stays 0 when tuning is off).
+    admitted: Dict[str, int] = field(default_factory=dict)
+    shed: Dict[str, int] = field(default_factory=dict)
+    tuner_deadline_ms: float = 0.0
+    tuner_batch_size: int = 0
+    tuner_adjustments: int = 0
+    # Per-shard telemetry (repro.serving.sharding/workers): lifetime
+    # worker respawns and per-shard score calls / wall time, snapshotted
+    # from the sharded backend's own counters.
+    shard_respawns: int = 0
+    shard_score_calls: List[int] = field(default_factory=list)
+    shard_score_seconds: List[float] = field(default_factory=list)
     # submit -> result / submit -> batch formed, most recent LATENCY_WINDOW
     latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     queue_waits_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -111,6 +125,31 @@ class ServiceStats:
         self.candidate_index_hits = index_hits
         self.candidate_fallbacks = fallbacks
 
+    def record_admission(self, priority: str) -> None:
+        """One request admitted past the gate under ``priority``."""
+        self.admitted[priority] = self.admitted.get(priority, 0) + 1
+
+    def record_shed(self, priority: str) -> None:
+        """One request shed at the gate under ``priority``."""
+        self.shed[priority] = self.shed.get(priority, 0) + 1
+
+    def record_tuner(
+        self, deadline_ms: float, batch_size: int, adjustments: int
+    ) -> None:
+        """Snapshot of the adaptive tuner's live policy (gauges)."""
+        self.tuner_deadline_ms = deadline_ms
+        self.tuner_batch_size = batch_size
+        self.tuner_adjustments = adjustments
+
+    def record_shards(
+        self, respawns: int, calls: List[int], seconds: List[float]
+    ) -> None:
+        """Snapshot of the sharded backend's lifetime counters: worker
+        respawns plus per-shard score calls and wall time (gauges)."""
+        self.shard_respawns = respawns
+        self.shard_score_calls = list(calls)
+        self.shard_score_seconds = list(seconds)
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -118,6 +157,20 @@ class ServiceStats:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_admitted(self) -> int:
+        return sum(self.admitted.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of gate arrivals shed (0.0 before any arrival)."""
+        total = self.total_admitted + self.total_shed
+        return self.total_shed / total if total else 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -179,7 +232,26 @@ class ServiceStats:
             "candidate_index_hits": self.candidate_index_hits,
             "candidate_fallbacks": self.candidate_fallbacks,
             "candidate_seconds": round(self.candidate_seconds, 4),
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+            "shed_rate": round(self.shed_rate, 4),
         }
+        if self.tuner_batch_size > 0:
+            # Only adaptive serving reports a tuner; the payload keeps
+            # its original shape otherwise.
+            payload.update(
+                tuner_deadline_ms=round(self.tuner_deadline_ms, 3),
+                tuner_batch_size=self.tuner_batch_size,
+                tuner_adjustments=self.tuner_adjustments,
+            )
+        if self.shard_score_calls:
+            payload.update(
+                shard_respawns=self.shard_respawns,
+                shard_score_calls=list(self.shard_score_calls),
+                shard_score_ms=[
+                    round(s * 1000.0, 2) for s in self.shard_score_seconds
+                ],
+            )
         if self.candidate_ms:
             payload.update(
                 candidate_p50_ms=round(self.candidate_percentile(50), 3),
@@ -224,6 +296,10 @@ class ServiceStats:
         ]
         gauges = [
             ("cache_hit_rate", self.cache_hit_rate, "result cache hit rate"),
+            ("admission_shed_rate", self.shed_rate, "fraction of gate arrivals shed"),
+            ("tuner_deadline_ms", self.tuner_deadline_ms, "adaptive tuner's live deadline budget"),
+            ("tuner_batch_size", self.tuner_batch_size, "adaptive tuner's live max batch size"),
+            ("tuner_adjustments", self.tuner_adjustments, "adaptive tuner policy adjustments"),
             ("mean_batch_size", self.mean_batch_size, "mean micro-batch size"),
             ("mentions_per_second", self.mentions_per_second, "compute-path throughput"),
             ("storage_payload_ship_bytes", self.payload_ship_bytes, "payload bytes shipped over worker pipes"),
@@ -236,6 +312,40 @@ class ServiceStats:
                 f"# TYPE {prefix}_{name} counter",
                 f"{prefix}_{name} {value}",
             ]
+        # Admission gate: per-priority admitted/shed counters (always
+        # exported, so dashboards see explicit zeros before any shed).
+        for name, values, help_text in (
+            ("admission_admitted_total", self.admitted, "requests admitted past the gate"),
+            ("admission_shed_total", self.shed, "requests shed at the gate"),
+        ):
+            lines += [
+                f"# HELP {prefix}_{name} {help_text}",
+                f"# TYPE {prefix}_{name} counter",
+            ]
+            for priority in ("high", "normal", "low"):
+                lines.append(
+                    f'{prefix}_{name}{{priority="{priority}"}} '
+                    f"{values.get(priority, 0)}"
+                )
+        lines += [
+            f"# HELP {prefix}_shard_respawns_total lifetime shard worker respawns",
+            f"# TYPE {prefix}_shard_respawns_total counter",
+            f"{prefix}_shard_respawns_total {self.shard_respawns}",
+            f"# HELP {prefix}_shard_score_calls_total per-shard score fan-out calls",
+            f"# TYPE {prefix}_shard_score_calls_total counter",
+        ]
+        for shard, calls in enumerate(self.shard_score_calls):
+            lines.append(
+                f'{prefix}_shard_score_calls_total{{shard="{shard}"}} {calls}'
+            )
+        lines += [
+            f"# HELP {prefix}_shard_score_seconds_total per-shard score wall time",
+            f"# TYPE {prefix}_shard_score_seconds_total counter",
+        ]
+        for shard, seconds in enumerate(self.shard_score_seconds):
+            lines.append(
+                f'{prefix}_shard_score_seconds_total{{shard="{shard}"}} {seconds}'
+            )
         for name, value, help_text in gauges:
             lines += [
                 f"# HELP {prefix}_{name} {help_text}",
@@ -298,6 +408,14 @@ class ServiceStats:
         self.candidate_seconds = 0.0
         self.candidate_index_hits = 0
         self.candidate_fallbacks = 0
+        self.admitted = {}
+        self.shed = {}
+        self.tuner_deadline_ms = 0.0
+        self.tuner_batch_size = 0
+        self.tuner_adjustments = 0
+        self.shard_respawns = 0
+        self.shard_score_calls = []
+        self.shard_score_seconds = []
         self.latencies_ms = deque(maxlen=LATENCY_WINDOW)
         self.queue_waits_ms = deque(maxlen=LATENCY_WINDOW)
         self.candidate_ms = deque(maxlen=LATENCY_WINDOW)

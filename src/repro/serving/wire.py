@@ -32,9 +32,11 @@ from typing import Optional, Tuple
 from ..core.pipeline import Prediction
 from ..core.serialization import ensure_known_keys
 from ..text.corpus import Snippet
+from .admission import DEFAULT_PRIORITY, PRIORITIES
 
 __all__ = [
     "WIRE_SCHEMA_VERSION",
+    "ACCEPTED_SCHEMA_VERSIONS",
     "WireError",
     "LinkItem",
     "LinkRequest",
@@ -44,8 +46,12 @@ __all__ = [
     "parse_stream_line",
 ]
 
-#: bump when the wire JSON layout changes incompatibly
-WIRE_SCHEMA_VERSION = 1
+#: bump when the wire JSON layout changes incompatibly; v2 added the
+#: optional per-item ``priority`` and ``ErrorResponse.retry_after_ms``
+#: (both defaulted, so every v1 payload is also a valid v2 payload and
+#: v1 requests stay accepted)
+WIRE_SCHEMA_VERSION = 2
+ACCEPTED_SCHEMA_VERSIONS = (1, 2)
 
 
 class WireError(ValueError):
@@ -80,10 +86,10 @@ def _object(payload, where: str) -> dict:
 
 def _check_version(payload: dict, where: str) -> None:
     version = payload.get("schema_version")
-    if version != WIRE_SCHEMA_VERSION:
+    if version not in ACCEPTED_SCHEMA_VERSIONS:
         raise WireError(
             f"unsupported {where} schema_version {version!r} "
-            f"(expected {WIRE_SCHEMA_VERSION})",
+            f"(expected one of {ACCEPTED_SCHEMA_VERSIONS})",
             code="unsupported_schema_version",
         )
 
@@ -103,30 +109,46 @@ def _loads(text, where: str) -> dict:
 
 @dataclass(frozen=True)
 class LinkItem:
-    """One linking work unit: a full snippet OR raw text (+ mention)."""
+    """One linking work unit: a full snippet OR raw text (+ mention).
+
+    ``priority`` (wire v2) names the admission class the scheduler
+    serves the item under (:data:`~repro.serving.admission.PRIORITIES`);
+    it is optional and defaults to ``"normal"``, so v1 payloads parse
+    unchanged.
+    """
 
     text: Optional[str] = None
     mention: Optional[str] = None
     snippet: Optional[Snippet] = None
+    priority: str = DEFAULT_PRIORITY
 
     def __post_init__(self):
         if (self.snippet is None) == (self.text is None):
             raise WireError("link item needs exactly one of 'text' or 'snippet'")
         if self.snippet is not None and self.mention is not None:
             raise WireError("'mention' only applies to raw 'text' items")
+        if self.priority not in PRIORITIES:
+            raise WireError(
+                f"unknown link item priority {self.priority!r}; "
+                f"options: {PRIORITIES}",
+                code="unknown_priority",
+            )
 
     def to_dict(self) -> dict:
         if self.snippet is not None:
-            return {"snippet": self.snippet.to_dict()}
-        payload = {"text": self.text}
-        if self.mention is not None:
-            payload["mention"] = self.mention
+            payload = {"snippet": self.snippet.to_dict()}
+        else:
+            payload = {"text": self.text}
+            if self.mention is not None:
+                payload["mention"] = self.mention
+        if self.priority != DEFAULT_PRIORITY:
+            payload["priority"] = self.priority
         return payload
 
     @classmethod
     def from_dict(cls, payload, where: str = "link item") -> "LinkItem":
         payload = _object(payload, where)
-        _known(payload, ("text", "mention", "snippet"), where)
+        _known(payload, ("text", "mention", "snippet", "priority"), where)
         snippet = payload.get("snippet")
         if snippet is not None:
             try:
@@ -136,8 +158,14 @@ class LinkItem:
         for key in ("text", "mention"):
             if payload.get(key) is not None and not isinstance(payload[key], str):
                 raise WireError(f"{where} {key!r} must be a string")
+        priority = payload.get("priority", DEFAULT_PRIORITY)
+        if not isinstance(priority, str):
+            raise WireError(f"{where} 'priority' must be a string")
         return cls(
-            text=payload.get("text"), mention=payload.get("mention"), snippet=snippet
+            text=payload.get("text"),
+            mention=payload.get("mention"),
+            snippet=snippet,
+            priority=priority,
         )
 
 
@@ -285,11 +313,27 @@ class LinkResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """Every non-2xx body, and the per-line failure record of streams."""
+    """Every non-2xx body, and the per-line failure record of streams.
+
+    ``retry_after_ms`` (wire v2) rides on 429 shed responses: the
+    admission controller's estimate of when the queue will be back
+    under budget (the ``Retry-After`` header carries the same hint in
+    whole seconds).
+    """
 
     code: str
     message: str
     detail: Optional[str] = None
+    retry_after_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.retry_after_ms is not None:
+            if isinstance(self.retry_after_ms, bool) or not isinstance(
+                self.retry_after_ms, (int, float)
+            ):
+                raise WireError("'retry_after_ms' must be a number")
+            if self.retry_after_ms < 0:
+                raise WireError("'retry_after_ms' must be >= 0")
 
     def to_dict(self) -> dict:
         payload = {
@@ -299,6 +343,8 @@ class ErrorResponse:
         }
         if self.detail is not None:
             payload["detail"] = self.detail
+        if self.retry_after_ms is not None:
+            payload["retry_after_ms"] = self.retry_after_ms
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -308,12 +354,17 @@ class ErrorResponse:
     def from_dict(cls, payload: dict) -> "ErrorResponse":
         payload = _object(payload, "error response")
         _check_version(payload, "error response")
-        _known(payload, ("schema_version", "code", "message", "detail"), "error response")
+        _known(
+            payload,
+            ("schema_version", "code", "message", "detail", "retry_after_ms"),
+            "error response",
+        )
         try:
             return cls(
                 code=payload["code"],
                 message=payload["message"],
                 detail=payload.get("detail"),
+                retry_after_ms=payload.get("retry_after_ms"),
             )
         except KeyError as exc:
             raise WireError(f"error response missing key {exc}") from None

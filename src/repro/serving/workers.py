@@ -355,19 +355,24 @@ def _worker_main(connection) -> None:  # pragma: no cover - subprocess body
         if kind == "score":
             _, seq, h_query, x_query, query_ids, ref_ids = message
             try:
+                # The elapsed seconds ride on the reply so the parent can
+                # attribute wall time to this shard without guessing from
+                # its own (gather-serialised) clock.
+                t0 = time.perf_counter()
                 scores = scorer.score(h_query, query_ids, h_ref, ref_ids, x_query, x_ref)
-                connection.send(("ok", seq, scores))
+                connection.send(("ok", seq, scores, time.perf_counter() - t0))
             except Exception as exc:
                 connection.send(("err", seq, f"{type(exc).__name__}: {exc}"))
             continue
         if kind == "candidates":
             _, seq, surface, query_vec = message
             try:
+                t0 = time.perf_counter()
                 if retrieval is None:
                     ids = np.zeros(0, dtype=np.int64)
                 else:
                     ids = retrieval.query(surface, query_vec=query_vec)
-                connection.send(("ok", seq, ids))
+                connection.send(("ok", seq, ids, time.perf_counter() - t0))
             except Exception as exc:
                 connection.send(("err", seq, f"{type(exc).__name__}: {exc}"))
             continue
@@ -439,6 +444,11 @@ class ShardWorkerPool:
         self.clock = clock or time.monotonic
         self.max_respawns = max_respawns
         self.respawns = 0  # lifetime respawn counter (telemetry + tests)
+        # Per-shard score telemetry: requests answered and the wall time
+        # the workers reported spending on them (worker-side clocks, so
+        # concurrent shards are attributed honestly).
+        self.shard_calls = [0] * len(payloads)
+        self.shard_seconds = [0.0] * len(payloads)
         # Payload-ship telemetry: bytes actually written to command pipes
         # for init/refresh messages, vs the matrix bytes a pickled ship
         # would have cost (the arena's whole point is the gap between
@@ -730,6 +740,7 @@ class ShardWorkerPool:
                 continue
             if reply[0] == "ok" and reply[1] == seq:
                 results[position] = reply[2]
+                self._note_shard(job.shard_index, reply)
             elif reply[0] == "err" and reply[1] == seq:
                 # Deterministic scoring failure: the worker is healthy
                 # and in sync; raise (below) without burning a respawn.
@@ -751,13 +762,23 @@ class ShardWorkerPool:
             seq = self._next_seq()
             try:
                 worker.connection.send(self._score_message(seq, job))
-                return self._parse_reply(worker.connection.recv(), seq)
+                reply = worker.connection.recv()
+                result = self._parse_reply(reply, seq)
+                self._note_shard(job.shard_index, reply)
+                return result
             except (BrokenPipeError, EOFError, ConnectionResetError, OSError):
                 worker.broken = True
         raise ShardWorkerError(
             f"shard worker {job.shard_index} kept crashing after "
             f"{self.max_respawns} respawns"
         )
+
+    def _note_shard(self, shard_index: int, reply: tuple) -> None:
+        """Fold one ok reply's worker-reported wall time into the
+        per-shard telemetry."""
+        if len(reply) > 3 and isinstance(reply[3], float):
+            self.shard_calls[shard_index] += 1
+            self.shard_seconds[shard_index] += reply[3]
 
     @staticmethod
     def _score_message(seq: int, job: Union[ScoreJob, CandidateJob]) -> tuple:

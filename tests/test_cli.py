@@ -249,7 +249,9 @@ class TestServe:
         errors = [line for line in lines if line.get("code") == "parse_error"]
         assert len(predictions) == 2
         assert len(errors) == 2
-        assert errors[0]["schema_version"] == 1
+        from repro.serving import WIRE_SCHEMA_VERSION
+
+        assert errors[0]["schema_version"] == WIRE_SCHEMA_VERSION
         assert errors[0]["detail"] == bad_snippet
 
     def test_file_input_bad_line_still_aborts(self, checkpoint, tmp_path):
